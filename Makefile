@@ -1,0 +1,39 @@
+# Convenience targets for the aa reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench figures examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper figure/claim plus micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation at full scale (tables + CSV).
+figures:
+	$(GO) run ./cmd/aabench -fig all -ext -rom -trials 1000 -csv results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/cachepartition
+	$(GO) run ./examples/hosting
+	$(GO) run ./examples/cloudbroker
+	$(GO) run ./examples/onlinerebalance
+	$(GO) run ./examples/heterogeneous
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	rm -f aabench
+	rm -rf results

@@ -1,0 +1,216 @@
+// Package aa is the public API of this repository: an implementation of
+// "Utility Maximizing Thread Assignment and Resource Allocation"
+// (Lai, Fan, Zhang, Liu — IPDPS 2016).
+//
+// The AA (assign and allocate) problem places n threads onto m
+// homogeneous servers with capacity C each and divides every server's
+// resource among its threads, maximizing the total utility Σ f_i(c_i),
+// where each f_i is a nonnegative, nondecreasing, concave utility
+// function. The problem is NP-hard for m ≥ 2; Solve implements the
+// paper's fast O(n (log mC)²) greedy with the proven approximation
+// ratio Alpha = 2(√2−1) ≈ 0.828.
+//
+// # Quick start
+//
+//	inst := &aa.Instance{
+//		M: 2, C: 100,
+//		Threads: []aa.Utility{
+//			aa.Log{Scale: 5, Shift: 10, C: 100},
+//			aa.Power{Scale: 2, Beta: 0.5, C: 100},
+//			aa.SatExp{Scale: 3, K: 20, C: 100},
+//		},
+//	}
+//	sol := aa.Solve(inst)
+//	fmt.Println(sol.Utility(inst), sol.Server, sol.Alloc)
+//
+// Beyond Solve, the package re-exports the super-optimal upper bound,
+// Algorithm 1, the exact solvers for small instances, the comparison
+// heuristics from the paper's evaluation, the synthetic workload
+// generator of §VII, and the experiment harness that regenerates every
+// figure of the paper. Deeper substrates (the multicore cache simulator,
+// hosting and cloud scenarios, and the heterogeneous/multi-resource/
+// online extensions) live under internal/ and are exercised through the
+// example programs and cmd tools.
+package aa
+
+import (
+	"aa/internal/core"
+	"aa/internal/experiment"
+	"aa/internal/gen"
+	"aa/internal/rng"
+	"aa/internal/utility"
+)
+
+// Alpha is the approximation ratio 2(√2−1) ≈ 0.8284 guaranteed by both
+// assignment algorithms (Theorems V.16 and VI.1 of the paper).
+var Alpha = core.Alpha
+
+// Core model types.
+type (
+	// Instance is an AA problem: M homogeneous servers of capacity C and
+	// one Utility per thread.
+	Instance = core.Instance
+	// Assignment maps each thread to a server and an allocation.
+	Assignment = core.Assignment
+	// Utility is a thread's nonnegative, nondecreasing, concave utility
+	// function over [0, C].
+	Utility = utility.Func
+	// SuperOpt is the pooled-knapsack relaxation: the upper bound F̂ and
+	// allocations ĉ_i that drive the approximation algorithms.
+	SuperOpt = core.SuperOpt
+	// Linearized is the two-segment surrogate utility from the paper's
+	// Equation 1.
+	Linearized = core.Linearized
+)
+
+// Utility families (all concave, documented in internal/utility).
+type (
+	// Linear is f(x) = Slope·x.
+	Linear = utility.Linear
+	// CappedLinear is f(x) = Slope·min(x, Knee).
+	CappedLinear = utility.CappedLinear
+	// Power is f(x) = Scale·x^Beta, Beta ∈ (0, 1].
+	Power = utility.Power
+	// Log is f(x) = Scale·ln(1 + x/Shift).
+	Log = utility.Log
+	// SatExp is f(x) = Scale·(1 − e^(−x/K)).
+	SatExp = utility.SatExp
+	// Saturating is f(x) = Scale·x/(x + K).
+	Saturating = utility.Saturating
+	// PiecewiseLinear is a concave piecewise-linear curve through knots.
+	PiecewiseLinear = utility.PiecewiseLinear
+	// Sampled is a smooth PCHIP-interpolated curve through samples.
+	Sampled = utility.Sampled
+)
+
+// Utility combinators (concavity-preserving).
+type (
+	// Scaled multiplies a utility by a nonnegative factor.
+	Scaled = utility.Scaled
+	// Sum is the pointwise sum of utilities.
+	Sum = utility.Sum
+	// Min is the pointwise minimum (e.g. a demand cap).
+	Min = utility.Min
+	// Offset adds a nonnegative constant.
+	Offset = utility.Offset
+)
+
+// NewPiecewiseLinear builds a concave piecewise-linear utility through
+// (xs[i], ys[i]); xs must start at 0 and the last knot defines the domain.
+func NewPiecewiseLinear(xs, ys []float64) (*PiecewiseLinear, error) {
+	return utility.NewPiecewiseLinear(xs, ys)
+}
+
+// NewSampled builds a smooth monotone utility through sampled points via
+// PCHIP interpolation (the paper's own curve construction).
+func NewSampled(xs, ys []float64) (*Sampled, error) {
+	return utility.NewSampled(xs, ys)
+}
+
+// ValidateUtility numerically checks the three model assumptions
+// (nonnegative, nondecreasing, concave) on a sample grid.
+func ValidateUtility(f Utility, samples int, tol float64) error {
+	return utility.Validate(f, samples, tol)
+}
+
+// Solve runs Algorithm 2, the paper's O(n (log mC)²) assignment with
+// approximation ratio Alpha. This is the recommended solver.
+func Solve(in *Instance) Assignment { return core.Assign2(in) }
+
+// SolveAlgorithm1 runs Algorithm 1, the O(mn² + n (log mC)²) greedy with
+// the same guarantee; it is kept for completeness and ablation.
+func SolveAlgorithm1(in *Instance) Assignment { return core.Assign1(in) }
+
+// SolveExact finds an optimal assignment by branch and bound. It is
+// exponential in the worst case (the problem is NP-hard) and refuses
+// instances whose search exceeds maxNodes (0 = default limit); intended
+// for small instances and calibration.
+func SolveExact(in *Instance, maxNodes int) (Assignment, error) {
+	return core.BranchAndBound(in, maxNodes)
+}
+
+// SuperOptimal computes the paper's pooled-capacity upper bound: no
+// feasible assignment can exceed its Total.
+func SuperOptimal(in *Instance) SuperOpt { return core.SuperOptimal(in) }
+
+// Improve post-optimizes an assignment with single-thread relocation
+// local search (re-allocating affected servers optimally). Utility never
+// decreases; maxMoves 0 means n·m moves. Useful after Solve on hard
+// two-class workloads. Returns the result and the number of moves.
+func Improve(in *Instance, a Assignment, maxMoves int) (Assignment, int) {
+	return core.Improve(in, a, maxMoves)
+}
+
+// SolveGreedyMarginal is a strong baseline beyond the paper's four
+// heuristics: marginal-gain greedy placement with optimal per-server
+// allocation. No approximation guarantee; slower than Solve.
+func SolveGreedyMarginal(in *Instance) Assignment { return core.AssignGreedyMarginal(in) }
+
+// Polish keeps an assignment's placement but re-solves every server's
+// allocation optimally against the original utilities. Utility never
+// decreases; cheap (one concave allocation per server) and recommended
+// after Solve when the last fraction of a percent matters.
+func Polish(in *Instance, a Assignment) Assignment {
+	return core.PolishAllocations(in, a)
+}
+
+// Rand is the deterministic random generator used by the stochastic
+// heuristics and the workload generator.
+type Rand = rng.Rand
+
+// NewRand returns a deterministic generator seeded with seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// Heuristics from the paper's evaluation (§VII). UU/UR assign round
+// robin, RU/RR assign uniformly at random; the second letter chooses
+// equal (U) or random (R) per-server allocation.
+var (
+	HeuristicUU = core.AssignUU
+	HeuristicUR = core.AssignUR
+	HeuristicRU = core.AssignRU
+	HeuristicRR = core.AssignRR
+)
+
+// FixedRequest is the introduction's strawman: each thread demands a
+// fixed amount and is placed first-fit with no allocation adjustment.
+func FixedRequest(in *Instance, requests []float64) Assignment {
+	return core.AssignFixedRequest(in, requests)
+}
+
+// Workload generation (§VII): distributions for the three-point PCHIP
+// thread construction.
+type (
+	// Dist is a distribution over nonnegative utility values.
+	Dist = gen.Dist
+	// UniformDist draws from [Lo, Hi).
+	UniformDist = gen.Uniform
+	// NormalDist draws from a positive-truncated normal.
+	NormalDist = gen.Normal
+	// PowerLawDist draws from p(x) ∝ x^(−Alpha) on [Xmin, ∞).
+	PowerLawDist = gen.PowerLaw
+	// DiscreteDist draws ℓ with probability γ, else θ·ℓ.
+	DiscreteDist = gen.Discrete
+)
+
+// GenerateInstance draws an instance with n threads from dist, matching
+// the paper's workload generator.
+func GenerateInstance(dist Dist, m int, c float64, n int, r *Rand) (*Instance, error) {
+	return gen.Instance(dist, m, c, n, r)
+}
+
+// Experiment harness types for regenerating the paper's figures.
+type (
+	// ExperimentSpec describes one figure's sweep.
+	ExperimentSpec = experiment.Spec
+	// ExperimentResult is a completed figure run.
+	ExperimentResult = experiment.Result
+)
+
+// Figures returns the specs of every figure in the paper's evaluation
+// with the given trial count (the paper uses 1000).
+func Figures(trials int) []ExperimentSpec { return experiment.AllFigures(trials) }
+
+// RunExperiment executes a figure spec deterministically in (spec, seed).
+func RunExperiment(spec ExperimentSpec, seed uint64, parallelism int) (*ExperimentResult, error) {
+	return experiment.Run(spec, seed, parallelism)
+}

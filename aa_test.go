@@ -1,0 +1,144 @@
+package aa
+
+import (
+	"math"
+	"testing"
+)
+
+func exampleInstance() *Instance {
+	return &Instance{
+		M: 2,
+		C: 100,
+		Threads: []Utility{
+			Log{Scale: 5, Shift: 10, C: 100},
+			Power{Scale: 2, Beta: 0.5, C: 100},
+			SatExp{Scale: 3, K: 20, C: 100},
+			Linear{Slope: 0.02, C: 100},
+		},
+	}
+}
+
+func TestSolveEndToEnd(t *testing.T) {
+	in := exampleInstance()
+	sol := Solve(in)
+	if err := sol.Validate(in, 1e-9); err != nil {
+		t.Fatalf("Solve produced infeasible assignment: %v", err)
+	}
+	so := SuperOptimal(in)
+	u := sol.Utility(in)
+	if u < Alpha*so.Total {
+		t.Errorf("Solve utility %v below α·F̂ = %v", u, Alpha*so.Total)
+	}
+	if u > so.Total*(1+1e-9) {
+		t.Errorf("Solve utility %v exceeds upper bound %v", u, so.Total)
+	}
+}
+
+func TestSolveAlgorithm1EndToEnd(t *testing.T) {
+	in := exampleInstance()
+	sol := SolveAlgorithm1(in)
+	if err := sol.Validate(in, 1e-9); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	so := SuperOptimal(in)
+	if u := sol.Utility(in); u < Alpha*so.Total {
+		t.Errorf("Algorithm 1 utility %v below guarantee", u)
+	}
+}
+
+func TestSolveExactDominates(t *testing.T) {
+	in := exampleInstance()
+	exact, err := SolveExact(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Utility(in) < Solve(in).Utility(in)-1e-9 {
+		t.Error("exact solution worse than approximation")
+	}
+}
+
+func TestHeuristicsExported(t *testing.T) {
+	in := exampleInstance()
+	r := NewRand(3)
+	for _, a := range []Assignment{
+		HeuristicUU(in),
+		HeuristicUR(in, r),
+		HeuristicRU(in, r),
+		HeuristicRR(in, r),
+		FixedRequest(in, []float64{30, 30, 30, 30}),
+	} {
+		if err := a.Validate(in, 1e-9); err != nil {
+			t.Errorf("heuristic infeasible: %v", err)
+		}
+	}
+}
+
+func TestUtilityConstructors(t *testing.T) {
+	pl, err := NewPiecewiseLinear([]float64{0, 50, 100}, []float64{0, 8, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateUtility(pl, 500, 1e-9); err != nil {
+		t.Error(err)
+	}
+	s, err := NewSampled([]float64{0, 50, 100}, []float64{0, 8, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Value(100); math.Abs(got-10) > 1e-9 {
+		t.Errorf("sampled Value(100) = %v, want 10", got)
+	}
+}
+
+func TestGenerateAndExperimentFacade(t *testing.T) {
+	r := NewRand(5)
+	in, err := GenerateInstance(UniformDist{Lo: 0, Hi: 1}, 4, 500, 12, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 12 {
+		t.Errorf("n = %d, want 12", in.N())
+	}
+	specs := Figures(5)
+	if len(specs) != 7 {
+		t.Fatalf("got %d figures, want 7", len(specs))
+	}
+	spec := specs[0]
+	spec.Sweep = spec.Sweep[:1]
+	res, err := RunExperiment(spec, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Errorf("got %d points", len(res.Points))
+	}
+}
+
+func TestAlphaConstant(t *testing.T) {
+	if math.Abs(Alpha-2*(math.Sqrt2-1)) > 1e-15 {
+		t.Errorf("Alpha = %v", Alpha)
+	}
+}
+
+func TestImproveFacade(t *testing.T) {
+	in := exampleInstance()
+	sol := Solve(in)
+	improved, moves := Improve(in, sol, 0)
+	if err := improved.Validate(in, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if improved.Utility(in) < sol.Utility(in)-1e-9 {
+		t.Errorf("Improve decreased utility (%d moves)", moves)
+	}
+}
+
+func TestSolveGreedyMarginalFacade(t *testing.T) {
+	in := exampleInstance()
+	a := SolveGreedyMarginal(in)
+	if err := a.Validate(in, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if a.Utility(in) > SuperOptimal(in).Total*(1+1e-9) {
+		t.Error("greedy-marginal exceeded the bound")
+	}
+}

@@ -1,0 +1,132 @@
+// Command aabench regenerates the paper's evaluation (Figures 1–3 of
+// IPDPS'16 "Utility Maximizing Thread Assignment and Resource
+// Allocation"): for each figure it sweeps the paper's parameter grid,
+// runs Algorithm 2 against the super-optimal bound and the UU/UR/RU/RR
+// heuristics over many random trials, and prints the mean utility ratios
+// as a table (optionally also an ASCII chart and CSV files).
+//
+// Usage:
+//
+//	aabench [-fig all|fig1a|fig1b|fig2a|fig2b|fig3a|fig3b|fig3c|ext-ls]
+//	        [-ext] [-plot] [-trials 1000] [-seed 1] [-parallel 0] [-csv dir]
+//
+// -ext additionally runs the extension experiments (e.g. ext-ls: local
+// search and greedy-marginal against the super-optimal bound) when
+// -fig all is selected.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"aa/internal/experiment"
+	"aa/internal/hetero"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "aabench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("aabench", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var (
+		fig      = fs.String("fig", "all", "figure id to run, or 'all'")
+		trials   = fs.Int("trials", experiment.DefaultTrials, "random trials per sweep point")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		parallel = fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		csvDir   = fs.String("csv", "", "directory to write per-figure CSV files (optional)")
+		ext      = fs.Bool("ext", false, "with -fig all, also run the extension experiments")
+		plot     = fs.Bool("plot", false, "render each figure as an ASCII chart as well")
+		rom      = fs.Bool("rom", false, "also print the ratio-of-means estimator table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// ext-hetero and ext-runtime have their own harnesses (per-server
+	// capacities and wall-clock timing do not fit the homogeneous
+	// ratio-sweep pipeline).
+	switch *fig {
+	case "ext-hetero":
+		tbl, err := hetero.SkewSeries(*trials, *seed)
+		if err != nil {
+			return err
+		}
+		return tbl.WriteASCII(stdout)
+	case "ext-runtime":
+		reps := *trials
+		if reps > 50 {
+			reps = 50 // timing needs repetitions, not the paper's 1000 trials
+		}
+		tbl, err := experiment.RuntimeTable(*seed, reps)
+		if err != nil {
+			return err
+		}
+		return tbl.WriteASCII(stdout)
+	}
+
+	var specs []experiment.Spec
+	if *fig == "all" {
+		specs = experiment.AllFigures(*trials)
+		if *ext {
+			specs = append(specs, experiment.AllExtensions(*trials)...)
+		}
+	} else {
+		spec, ok := experiment.ByID(*fig, *trials)
+		if !ok {
+			return fmt.Errorf("unknown figure %q", *fig)
+		}
+		specs = []experiment.Spec{spec}
+	}
+
+	for _, spec := range specs {
+		start := time.Now()
+		res, err := experiment.Run(spec, *seed, *parallel)
+		if err != nil {
+			return err
+		}
+		if err := experiment.Render(res).WriteASCII(stdout); err != nil {
+			return err
+		}
+		if *rom {
+			if err := experiment.RenderRoM(res).WriteASCII(stdout); err != nil {
+				return err
+			}
+		}
+		if *plot {
+			if err := experiment.RenderChart(res).WriteASCII(stdout); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(stdout, "(%s in %v)\n\n", spec.ID, time.Since(start).Round(time.Millisecond))
+
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, spec.ID, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir, id string, res *experiment.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return experiment.Render(res).WriteCSV(f)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "fig2b", "-trials", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"fig2b", "A2/SO", "alpha"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunWithPlotAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-fig", "fig3c", "-trials", "2", "-plot", "-csv", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "utility ratio") {
+		t.Error("plot not rendered")
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig3c.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "theta,n,A2/SO") {
+		t.Errorf("csv header: %q", strings.SplitN(string(csv), "\n", 2)[0])
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "fig9z"}, &out); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	args := []string{"-fig", "fig2b", "-trials", "2", "-seed", "3"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the timing lines before comparing.
+	clean := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(line, "(") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if clean(a.String()) != clean(b.String()) {
+		t.Error("same seed produced different tables")
+	}
+}
+
+func TestRunExtHetero(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "ext-hetero", "-trials", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ext-hetero") || !strings.Contains(out.String(), "A/SO") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunExtRuntime(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "ext-runtime", "-trials", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ext-runtime") || !strings.Contains(out.String(), "us/thread") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllMixes(t *testing.T) {
+	for _, mix := range []string{"balanced", "hungry", "streaming"} {
+		var out bytes.Buffer
+		err := run([]string{
+			"-mix", mix, "-n", "4", "-sets", "16", "-ways", "4", "-accesses", "4000",
+		}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", mix, err)
+		}
+		s := out.String()
+		for _, want := range []string{"profiles", "AA assignment", "aggregate throughput", "shared, no parts"} {
+			if !strings.Contains(s, want) {
+				t.Errorf("%s: missing %q", mix, want)
+			}
+		}
+	}
+}
+
+func TestRunAdaptiveMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "4", "-sets", "16", "-ways", "4", "-accesses", "3000", "-adaptive", "3",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "adaptive controller (3 epochs") {
+		t.Errorf("missing adaptive section:\n%s", out.String())
+	}
+	if strings.Count(out.String(), "epoch") < 3 {
+		t.Error("missing epoch rows")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mix", "warp"}, &out); err == nil {
+		t.Error("unknown mix accepted")
+	}
+	if err := run([]string{"-ways", "0"}, &out); err == nil {
+		t.Error("zero ways accepted")
+	}
+}

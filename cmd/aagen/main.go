@@ -1,0 +1,67 @@
+// Command aagen generates a random AA instance in the JSON format
+// accepted by aasolve, using the paper's §VII workload generator.
+//
+// Usage:
+//
+//	aagen [-dist uniform|normal|powerlaw|discrete] [-m 8] [-c 1000]
+//	      [-n 40] [-seed 1] [-alpha 2] [-gamma 0.85] [-theta 5]
+//
+// The instance is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aa/internal/gen"
+	"aa/internal/instio"
+	"aa/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "aagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("aagen", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var (
+		distName = fs.String("dist", "uniform", "value distribution: uniform, normal, powerlaw, discrete")
+		m        = fs.Int("m", 8, "number of servers")
+		c        = fs.Float64("c", 1000, "capacity per server")
+		n        = fs.Int("n", 40, "number of threads")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		alpha    = fs.Float64("alpha", 2, "power-law exponent (dist=powerlaw)")
+		gamma    = fs.Float64("gamma", 0.85, "low-value probability (dist=discrete)")
+		theta    = fs.Float64("theta", 5, "high/low value ratio (dist=discrete)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var dist gen.Dist
+	switch *distName {
+	case "uniform":
+		dist = gen.DefaultUniform
+	case "normal":
+		dist = gen.DefaultNormal
+	case "powerlaw":
+		dist = gen.PowerLaw{Alpha: *alpha, Xmin: 1}
+	case "discrete":
+		dist = gen.Discrete{L: 1, Gamma: *gamma, Theta: *theta}
+	default:
+		return fmt.Errorf("unknown distribution %q", *distName)
+	}
+
+	in, err := gen.Instance(dist, *m, *c, *n, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+	return instio.Encode(stdout, in)
+}

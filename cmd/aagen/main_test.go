@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aa/internal/instio"
+)
+
+func TestRunGeneratesDecodableInstance(t *testing.T) {
+	for _, dist := range []string{"uniform", "normal", "powerlaw", "discrete"} {
+		var out bytes.Buffer
+		err := run([]string{"-dist", dist, "-n", "6", "-m", "2", "-c", "100"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		in, err := instio.Decode(&out)
+		if err != nil {
+			t.Fatalf("%s: generated instance does not decode: %v", dist, err)
+		}
+		if in.N() != 6 || in.M != 2 || in.C != 100 {
+			t.Errorf("%s: shape n=%d m=%d C=%v", dist, in.N(), in.M, in.C)
+		}
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-seed", "9", "-n", "4"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "9", "-n", "4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestRunRejectsUnknownDist(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-dist", "warp"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown distribution") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "not-a-number"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,157 @@
+// Command aaonline simulates the dynamic AA setting (§VIII future
+// work): random thread churn (arrivals, departures, utility drift) on a
+// homogeneous cluster, handled by three rebalancing policies — full
+// re-solve on every event, never-migrate incremental repair, and a
+// hybrid that rebuilds when measured quality drops below a threshold of
+// the super-optimal bound. It sweeps per-migration cost and prints the
+// net value (utility integral minus migration costs) per policy.
+//
+// Usage:
+//
+//	aaonline [-m 4] [-c 100] [-events 300] [-seed 1]
+//	         [-threshold 0.828] [-costs 0,1,5,20,100,500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"aa/internal/online"
+	"aa/internal/rng"
+	"aa/internal/tableio"
+	"aa/internal/utility"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "aaonline: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("aaonline", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var (
+		m         = fs.Int("m", 4, "number of servers")
+		c         = fs.Float64("c", 100, "capacity per server")
+		events    = fs.Int("events", 300, "number of churn events")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		threshold = fs.Float64("threshold", 0.828, "hybrid rebuild threshold (fraction of the SO bound)")
+		costsFlag = fs.String("costs", "0,1,5,20,100,500", "comma-separated per-migration costs to sweep")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *events < 1 {
+		return fmt.Errorf("need at least one event")
+	}
+
+	costs, err := parseCosts(*costsFlag)
+	if err != nil {
+		return err
+	}
+
+	r := rng.New(*seed)
+	timeline := buildTimeline(r, *c, *events)
+	horizon := timeline[len(timeline)-1].Time + 1
+
+	policies := []online.Policy{
+		online.FullResolve{},
+		online.Hybrid{Threshold: *threshold},
+		online.Incremental{},
+	}
+
+	fmt.Fprintf(stdout, "%d events over %.0f time units, m=%d, C=%g\n\n", *events, horizon, *m, *c)
+	base := tableio.New("policy summary (migration cost 0)",
+		"policy", "utility-integral", "migrations")
+	for _, p := range policies {
+		res, err := online.Simulate(*m, *c, timeline, p, 0, horizon)
+		if err != nil {
+			return err
+		}
+		base.AddRow(p.Name(),
+			fmt.Sprintf("%.1f", res.UtilityIntegral),
+			fmt.Sprintf("%d", res.Migrations))
+	}
+	if err := base.WriteASCII(stdout); err != nil {
+		return err
+	}
+
+	headers := []string{"cost"}
+	for _, p := range policies {
+		headers = append(headers, p.Name())
+	}
+	sweep := tableio.New("\nnet value = utility − cost × migrations", headers...)
+	for _, cost := range costs {
+		cells := []string{tableio.FormatFloat(cost, 1)}
+		for _, p := range policies {
+			res, err := online.Simulate(*m, *c, timeline, p, cost, horizon)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, fmt.Sprintf("%.1f", res.Net))
+		}
+		sweep.AddRow(cells...)
+	}
+	return sweep.WriteASCII(stdout)
+}
+
+// buildTimeline mirrors the churn generator used by the online tests.
+func buildTimeline(r *rng.Rand, c float64, events int) []online.Event {
+	var out []online.Event
+	nextID := 0
+	var active []int
+	t := 0.0
+	for len(out) < events {
+		t += r.Uniform(0.5, 3)
+		switch {
+		case len(active) < 4 || r.Float64() < 0.4:
+			out = append(out, online.Event{
+				Time: t, Kind: online.Arrive, ID: nextID, Util: randomUtility(r, c)})
+			active = append(active, nextID)
+			nextID++
+		case r.Float64() < 0.5:
+			k := r.Intn(len(active))
+			out = append(out, online.Event{Time: t, Kind: online.Depart, ID: active[k]})
+			active = append(active[:k], active[k+1:]...)
+		default:
+			k := r.Intn(len(active))
+			out = append(out, online.Event{
+				Time: t, Kind: online.Drift, ID: active[k], Util: randomUtility(r, c)})
+		}
+	}
+	return out
+}
+
+func randomUtility(r *rng.Rand, c float64) utility.Func {
+	switch r.Intn(3) {
+	case 0:
+		return utility.Log{Scale: r.Uniform(0.5, 5), Shift: r.Uniform(1, c/4), C: c}
+	case 1:
+		return utility.SatExp{Scale: r.Uniform(0.5, 5), K: r.Uniform(c/30, c/3), C: c}
+	default:
+		return utility.Power{Scale: r.Uniform(0.3, 2), Beta: r.Uniform(0.3, 0.9), C: c}
+	}
+}
+
+func parseCosts(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad cost %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no costs given")
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunProducesTables(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-events", "40", "-costs", "0,10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"policy summary", "full-resolve", "hybrid(0.83)", "incremental",
+		"net value", "migrations",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	args := []string{"-events", "30", "-seed", "5", "-costs", "0"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-costs", "zero"}, &out); err == nil {
+		t.Error("bad costs accepted")
+	}
+	if err := run([]string{"-events", "0"}, &out); err == nil {
+		t.Error("zero events accepted")
+	}
+}
+
+func TestParseCosts(t *testing.T) {
+	costs, err := parseCosts(" 0, 1.5 ,20 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != 3 || costs[1] != 1.5 {
+		t.Errorf("costs %v", costs)
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"aa/internal/instio"
+)
+
+const demoInstance = `{
+  "m": 2, "c": 100,
+  "threads": [
+    {"kind": "log", "scale": 5, "shift": 10},
+    {"kind": "power", "scale": 2, "beta": 0.5},
+    {"kind": "cappedLinear", "slope": 1, "knee": 30},
+    {"kind": "satexp", "scale": 3, "k": 20}
+  ]
+}`
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"a2", "a1", "a2p", "ls", "gm", "exact", "uu", "ur", "ru", "rr"} {
+		var out bytes.Buffer
+		err := run([]string{"-algo", algo}, strings.NewReader(demoInstance), &out)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out.String(), "total utility") {
+			t.Errorf("%s: missing summary:\n%s", algo, out.String())
+		}
+		if !strings.Contains(out.String(), "thread") {
+			t.Errorf("%s: missing table", algo)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-json"}, strings.NewReader(demoInstance), &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded instio.AssignmentJSON
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(decoded.Server) != 4 || decoded.Utility <= 0 {
+		t.Errorf("decoded %+v", decoded)
+	}
+	if decoded.Bound < decoded.Utility-1e-9 {
+		t.Errorf("bound %v below utility %v", decoded.Bound, decoded.Utility)
+	}
+}
+
+func TestRunPolishedAtLeastRaw(t *testing.T) {
+	get := func(algo string) float64 {
+		var out bytes.Buffer
+		if err := run([]string{"-algo", algo, "-json"}, strings.NewReader(demoInstance), &out); err != nil {
+			t.Fatal(err)
+		}
+		var decoded instio.AssignmentJSON
+		if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+			t.Fatal(err)
+		}
+		return decoded.Utility
+	}
+	raw := get("a2")
+	polished := get("a2p")
+	improved := get("ls")
+	if polished < raw-1e-9 {
+		t.Errorf("a2p (%v) below a2 (%v)", polished, raw)
+	}
+	if improved < polished-1e-9 {
+		t.Errorf("ls (%v) below a2p (%v)", improved, polished)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "nope"}, strings.NewReader(demoInstance), &out); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(nil, strings.NewReader("not json"), &out); err == nil {
+		t.Error("garbage input accepted")
+	}
+	if err := run([]string{"missing-file.json"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

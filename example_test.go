@@ -1,0 +1,102 @@
+package aa_test
+
+import (
+	"fmt"
+
+	"aa"
+)
+
+// The basic workflow: describe threads by concave utilities, solve, and
+// inspect the assignment.
+func ExampleSolve() {
+	inst := &aa.Instance{
+		M: 2,
+		C: 10,
+		Threads: []aa.Utility{
+			aa.CappedLinear{Slope: 2, Knee: 5, C: 10},
+			aa.CappedLinear{Slope: 2, Knee: 5, C: 10},
+			aa.Linear{Slope: 1, C: 10},
+		},
+	}
+	sol := aa.Solve(inst)
+	fmt.Printf("utility %.1f of bound %.1f\n",
+		sol.Utility(inst), aa.SuperOptimal(inst).Total)
+	// Output:
+	// utility 25.0 of bound 30.0
+}
+
+// The super-optimal allocation is the pooled-capacity relaxation: it
+// upper-bounds every feasible assignment and supplies the ĉ_i driving
+// the approximation algorithms.
+func ExampleSuperOptimal() {
+	inst := &aa.Instance{
+		M: 2,
+		C: 10,
+		Threads: []aa.Utility{
+			aa.Linear{Slope: 3, C: 10},
+			aa.Linear{Slope: 1, C: 10},
+		},
+	}
+	so := aa.SuperOptimal(inst)
+	fmt.Printf("allocations %.0f, total %.0f\n", so.Alloc, so.Total)
+	// Output:
+	// allocations [10 10], total 40
+}
+
+// Exact solving is available for small instances; the approximation is
+// never more than a factor 1/α ≈ 1.21 away and usually much closer.
+func ExampleSolveExact() {
+	inst := &aa.Instance{
+		M: 2,
+		C: 1,
+		Threads: []aa.Utility{
+			// Theorem V.17's tightness instance.
+			aa.CappedLinear{Slope: 2, Knee: 0.5, C: 1},
+			aa.CappedLinear{Slope: 2, Knee: 0.5, C: 1},
+			aa.Linear{Slope: 1, C: 1},
+		},
+	}
+	exact, err := aa.SolveExact(inst, 0)
+	if err != nil {
+		panic(err)
+	}
+	approx := aa.Solve(inst)
+	fmt.Printf("exact %.2f, algorithm 2 %.2f, ratio %.3f (alpha %.3f)\n",
+		exact.Utility(inst), approx.Utility(inst),
+		approx.Utility(inst)/exact.Utility(inst), aa.Alpha)
+	// Output:
+	// exact 3.00, algorithm 2 2.50, ratio 0.833 (alpha 0.828)
+}
+
+// Local search recovers most of the residual gap on hard instances.
+func ExampleImprove() {
+	inst := &aa.Instance{
+		M: 2,
+		C: 1,
+		Threads: []aa.Utility{
+			aa.CappedLinear{Slope: 2, Knee: 0.5, C: 1},
+			aa.CappedLinear{Slope: 2, Knee: 0.5, C: 1},
+			aa.Linear{Slope: 1, C: 1},
+		},
+	}
+	sol := aa.Solve(inst)
+	improved, moves := aa.Improve(inst, sol, 0)
+	fmt.Printf("%.2f -> %.2f in %d move(s)\n",
+		sol.Utility(inst), improved.Utility(inst), moves)
+	// Output:
+	// 2.50 -> 3.00 in 1 move(s)
+}
+
+// GenerateInstance reproduces the paper's synthetic workloads.
+func ExampleGenerateInstance() {
+	r := aa.NewRand(7)
+	inst, err := aa.GenerateInstance(aa.PowerLawDist{Alpha: 2, Xmin: 1}, 8, 1000, 40, r)
+	if err != nil {
+		panic(err)
+	}
+	sol := aa.Solve(inst)
+	fmt.Printf("n=%d threads on m=%d servers: solved feasibly: %v\n",
+		inst.N(), inst.M, sol.Validate(inst, 1e-9) == nil)
+	// Output:
+	// n=40 threads on m=8 servers: solved feasibly: true
+}

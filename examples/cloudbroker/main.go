@@ -1,0 +1,72 @@
+// Cloud-broker example — the paper's third motivating application.
+//
+// A provider sells VMs on identical physical machines. Customers express
+// willingness to pay as concave curves. The example contrasts:
+//
+//  1. fixed instance tiers (t-shirt sizes) placed first-fit — industry
+//     practice and the strawman of the paper's introduction, and
+//  2. AA (Algorithm 2), which sizes every VM individually while placing
+//     it, extracting revenue the tiers leave on the table.
+//
+// It closes with the introduction's analytic series: with payment curves
+// x^β, fixed-size requests are a factor ~n^(1−β) from optimal.
+package main
+
+import (
+	"fmt"
+
+	"aa/internal/cloud"
+	"aa/internal/rng"
+)
+
+func main() {
+	r := rng.New(11)
+	fleet := cloud.RandomFleet(4 /* machines */, 64 /* vCPUs */, 48 /* tenants */, 0.3, 0.9, r)
+
+	tiers := cloud.DefaultTiers(fleet.Capacity)
+	choices := cloud.ChooseTiers(fleet, tiers)
+	tierRev, tierAssign := cloud.TierRevenue(fleet, tiers, choices)
+
+	aaRev, aaAssign, err := cloud.SolveRevenue(fleet)
+	if err != nil {
+		panic(err)
+	}
+
+	counts := map[string]int{}
+	for _, ch := range choices {
+		if ch.Tier < 0 {
+			counts["(opt-out)"]++
+		} else {
+			counts[tiers[ch.Tier].Name]++
+		}
+	}
+	fmt.Println("tier demand under catalog pricing:")
+	for _, tier := range tiers {
+		fmt.Printf("  %-8s (%4.1f vCPU): %d tenants\n", tier.Name, tier.Size, counts[tier.Name])
+	}
+	fmt.Printf("  %-8s              : %d tenants\n", "(opt-out)", counts["(opt-out)"])
+
+	placedTier, placedAA := 0, 0
+	for i := range fleet.Customers {
+		if tierAssign.Alloc[i] > 0 {
+			placedTier++
+		}
+		if aaAssign.Alloc[i] > 0 {
+			placedAA++
+		}
+	}
+
+	fmt.Printf("\nrevenue per hour:\n")
+	fmt.Printf("  fixed tiers, first-fit:  $%.2f (%d tenants placed)\n", tierRev, placedTier)
+	fmt.Printf("  AA joint sizing:         $%.2f (%d tenants with resources)\n", aaRev, placedAA)
+	fmt.Printf("  uplift:                  %.1f%%\n", 100*(aaRev/tierRev-1))
+
+	// The introduction's asymptotic argument, concretely.
+	fmt.Printf("\nintro example: one machine (C=1000), f(x)=x^0.5, fixed requests z=100\n")
+	fmt.Printf("%6s %14s %14s %8s\n", "n", "fixed-request", "optimal", "ratio")
+	for _, pt := range cloud.IntroGapSeries(1000, 100, 0.5, []int{10, 20, 40, 80, 160, 320}) {
+		fmt.Printf("%6d %14.2f %14.2f %8.2f\n", pt.N, pt.FixedTotal, pt.OptTotal, pt.Ratio)
+	}
+	fmt.Println("\nfixed-request utility is flat in n; the optimum grows as n^0.5 —")
+	fmt.Println("the gap is unbounded, which is why AA sizes VMs jointly.")
+}

@@ -1,0 +1,61 @@
+package aa_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun builds every example program and executes it, asserting
+// a clean exit and non-empty output. This keeps the examples honest: they
+// are documentation that must keep compiling AND running.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take a few seconds each")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("expected at least 3 examples, found %d", len(entries))
+	}
+	binDir := t.TempDir()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(binDir, name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			var stdout, stderr bytes.Buffer
+			cmd := exec.Command(bin)
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			done := make(chan error, 1)
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			go func() { done <- cmd.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("example failed: %v\nstderr: %s", err, stderr.String())
+				}
+			case <-time.After(3 * time.Minute):
+				_ = cmd.Process.Kill()
+				t.Fatal("example timed out")
+			}
+			if stdout.Len() == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

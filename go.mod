@@ -1,0 +1,3 @@
+module aa
+
+go 1.22

@@ -1,0 +1,259 @@
+// Package alloc solves the single-knapsack concave resource allocation
+// problem: given utility functions f_1..f_n and a budget B, choose
+// allocations x_i ∈ [0, f_i.Cap()] with Σ x_i ≤ B maximizing Σ f_i(x_i).
+//
+// This is the classic separable concave allocation problem. Concave
+// implies a water-filling optimum: there is a marginal value λ ≥ 0 such
+// that every thread is allocated up to the point where its derivative
+// drops to λ. Concave solves it by bisection on λ, the same structure as
+// Galil's O(n (log B)²) algorithm cited by the paper; Greedy is Fox's
+// unit-by-unit greedy, exact at a fixed granularity and used as ground
+// truth in tests.
+//
+// The paper's super-optimal allocation (Definition V.1) is exactly
+// Concave with budget B = m·C and per-thread caps C.
+package alloc
+
+import (
+	"math"
+
+	"aa/internal/rng"
+	"aa/internal/utility"
+)
+
+// Result is the outcome of an allocation.
+type Result struct {
+	// Alloc[i] is the resource given to thread i.
+	Alloc []float64
+	// Total is Σ f_i(Alloc[i]).
+	Total float64
+	// Lambda is the water-filling marginal value found by Concave
+	// (0 for allocators that do not compute one).
+	Lambda float64
+}
+
+// TotalValue returns Σ f_i(alloc[i]).
+func TotalValue(fs []utility.Func, alloc []float64) float64 {
+	total := 0.0
+	for i, f := range fs {
+		total += f.Value(alloc[i])
+	}
+	return total
+}
+
+// sumAt returns Σ_i InverseDeriv(f_i, λ) and fills alloc.
+func sumAt(fs []utility.Func, lambda float64, alloc []float64) float64 {
+	sum := 0.0
+	for i, f := range fs {
+		alloc[i] = utility.InverseDeriv(f, lambda, 1e-12)
+		sum += alloc[i]
+	}
+	return sum
+}
+
+// Concave computes a water-filling optimal allocation of budget among the
+// concave utilities fs by bisection on the marginal value λ. Each thread's
+// allocation is capped at its own f.Cap(). The returned allocations sum to
+// at most budget (up to 1e-9 relative tolerance).
+//
+// If Σ caps <= budget every thread simply receives its cap. Plateaus in
+// the derivatives (piecewise-linear utilities) are handled by a final
+// redistribution pass among threads whose marginal equals λ.
+func Concave(fs []utility.Func, budget float64) Result {
+	n := len(fs)
+	alloc := make([]float64, n)
+	if n == 0 || budget <= 0 {
+		return Result{Alloc: alloc}
+	}
+
+	// Trivial case: budget covers every cap.
+	capSum := 0.0
+	for _, f := range fs {
+		capSum += f.Cap()
+	}
+	if capSum <= budget {
+		for i, f := range fs {
+			alloc[i] = f.Cap()
+		}
+		return Result{Alloc: alloc, Total: TotalValue(fs, alloc)}
+	}
+
+	// Find hi with sumAt(hi) <= budget by doubling. λ = 0 gives capSum >
+	// budget, so the optimal λ is positive.
+	lo, hi := 0.0, 1.0
+	for sumAt(fs, hi, alloc) > budget {
+		lo = hi
+		hi *= 2
+		if hi > 1e18 {
+			break // derivatives are astronomically steep; give up doubling
+		}
+	}
+
+	// Bisect λ. 100 iterations gives ~2^-100 relative precision, far past
+	// float64; we stop early once the interval is negligible.
+	for iter := 0; iter < 200 && hi-lo > 1e-15*(1+hi); iter++ {
+		mid := 0.5 * (lo + hi)
+		if sumAt(fs, mid, alloc) > budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+
+	// Use the feasible end (λ = hi ⇒ sum <= budget), then hand out any
+	// remaining budget to plateau threads: those that would take more at
+	// λ = lo. Giving them the leftovers is optimal because their marginal
+	// utility in the gap is exactly the water level.
+	sum := sumAt(fs, hi, alloc)
+	remaining := budget - sum
+	if remaining > 0 {
+		for i, f := range fs {
+			if remaining <= 1e-12*budget {
+				break
+			}
+			more := utility.InverseDeriv(f, lo, 1e-12) - alloc[i]
+			if more <= 0 {
+				continue
+			}
+			grant := math.Min(more, remaining)
+			alloc[i] += grant
+			remaining -= grant
+		}
+	}
+	return Result{Alloc: alloc, Total: TotalValue(fs, alloc), Lambda: hi}
+}
+
+// Greedy is Fox's unit-greedy allocator: it repeatedly grants one unit of
+// resource to the thread with the greatest marginal utility for its next
+// unit, until the budget (rounded down to whole units) is exhausted or no
+// thread gains from more resource. For concave utilities this is exact at
+// the chosen granularity. Runtime O((budget/unit)·log n).
+func Greedy(fs []utility.Func, budget, unit float64) Result {
+	n := len(fs)
+	alloc := make([]float64, n)
+	if n == 0 || budget <= 0 || unit <= 0 {
+		return Result{Alloc: alloc}
+	}
+	h := newGainHeap(n)
+	for i, f := range fs {
+		g := marginalGain(f, 0, unit)
+		if g > 0 {
+			h.push(gainItem{thread: i, gain: g})
+		}
+	}
+	units := int(budget / unit)
+	for step := 0; step < units && h.len() > 0; step++ {
+		it := h.pop()
+		f := fs[it.thread]
+		alloc[it.thread] += unit
+		if alloc[it.thread]+unit <= f.Cap()+1e-12 {
+			if g := marginalGain(f, alloc[it.thread], unit); g > 0 {
+				h.push(gainItem{thread: it.thread, gain: g})
+			}
+		}
+	}
+	return Result{Alloc: alloc, Total: TotalValue(fs, alloc)}
+}
+
+// marginalGain is f(x+unit) - f(x).
+func marginalGain(f utility.Func, x, unit float64) float64 {
+	return f.Value(x+unit) - f.Value(x)
+}
+
+// EqualSplit gives each thread budget/n, capped at its own Cap. This is
+// the per-server allocation used by the paper's UU and RU heuristics.
+func EqualSplit(fs []utility.Func, budget float64) Result {
+	n := len(fs)
+	alloc := make([]float64, n)
+	if n == 0 || budget <= 0 {
+		return Result{Alloc: alloc}
+	}
+	share := budget / float64(n)
+	for i, f := range fs {
+		alloc[i] = math.Min(share, f.Cap())
+	}
+	return Result{Alloc: alloc, Total: TotalValue(fs, alloc)}
+}
+
+// RandomSplit allocates each thread an independent uniform random amount
+// of the server's resource, scaled down proportionally if the draws
+// exceed the budget, and capped at each thread's own Cap. This is the
+// paper's "random allocation" used by the UR and RR heuristics; notably
+// a lone thread receives a uniformly random share rather than
+// everything, which is why UR is suboptimal even at β = 1 (§VII-A).
+func RandomSplit(fs []utility.Func, budget float64, r *rng.Rand) Result {
+	n := len(fs)
+	alloc := make([]float64, n)
+	if n == 0 || budget <= 0 {
+		return Result{Alloc: alloc}
+	}
+	sum := 0.0
+	for i := range alloc {
+		alloc[i] = r.Float64() * budget
+		sum += alloc[i]
+	}
+	scale := 1.0
+	if sum > budget {
+		scale = budget / sum
+	}
+	for i, f := range fs {
+		alloc[i] *= scale
+		if c := f.Cap(); alloc[i] > c {
+			alloc[i] = c
+		}
+	}
+	return Result{Alloc: alloc, Total: TotalValue(fs, alloc)}
+}
+
+// gainHeap is a max-heap of (thread, marginal gain) pairs.
+type gainItem struct {
+	thread int
+	gain   float64
+}
+
+type gainHeap struct {
+	items []gainItem
+}
+
+func newGainHeap(capacity int) *gainHeap {
+	return &gainHeap{items: make([]gainItem, 0, capacity)}
+}
+
+func (h *gainHeap) len() int { return len(h.items) }
+
+func (h *gainHeap) push(it gainItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].gain >= h.items[i].gain {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *gainHeap) pop() gainItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < last && h.items[l].gain > h.items[largest].gain {
+			largest = l
+		}
+		if r < last && h.items[r].gain > h.items[largest].gain {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+	return top
+}

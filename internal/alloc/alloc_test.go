@@ -1,0 +1,401 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aa/internal/rng"
+	"aa/internal/utility"
+)
+
+func feasible(t *testing.T, fs []utility.Func, alloc []float64, budget float64) {
+	t.Helper()
+	sum := 0.0
+	for i, a := range alloc {
+		if a < -1e-12 {
+			t.Fatalf("negative allocation %v for thread %d", a, i)
+		}
+		if a > fs[i].Cap()+1e-9 {
+			t.Fatalf("allocation %v exceeds cap %v for thread %d", a, fs[i].Cap(), i)
+		}
+		sum += a
+	}
+	if sum > budget*(1+1e-9)+1e-9 {
+		t.Fatalf("allocations sum to %v > budget %v", sum, budget)
+	}
+}
+
+func TestConcaveEmptyAndDegenerate(t *testing.T) {
+	r := Concave(nil, 100)
+	if r.Total != 0 || len(r.Alloc) != 0 {
+		t.Errorf("empty problem: %+v", r)
+	}
+	fs := []utility.Func{utility.Linear{Slope: 1, C: 10}}
+	r = Concave(fs, 0)
+	if r.Total != 0 {
+		t.Errorf("zero budget: %+v", r)
+	}
+	r = Concave(fs, -5)
+	if r.Total != 0 {
+		t.Errorf("negative budget: %+v", r)
+	}
+}
+
+func TestConcaveBudgetCoversAllCaps(t *testing.T) {
+	fs := []utility.Func{
+		utility.Linear{Slope: 2, C: 10},
+		utility.Log{Scale: 3, Shift: 1, C: 20},
+	}
+	r := Concave(fs, 100)
+	if r.Alloc[0] != 10 || r.Alloc[1] != 20 {
+		t.Errorf("allocations %v, want caps [10 20]", r.Alloc)
+	}
+}
+
+func TestConcaveTwoIdenticalLogsSplitEvenly(t *testing.T) {
+	fs := []utility.Func{
+		utility.Log{Scale: 1, Shift: 10, C: 1000},
+		utility.Log{Scale: 1, Shift: 10, C: 1000},
+	}
+	r := Concave(fs, 100)
+	feasible(t, fs, r.Alloc, 100)
+	if math.Abs(r.Alloc[0]-r.Alloc[1]) > 1e-6 {
+		t.Errorf("identical threads got %v", r.Alloc)
+	}
+	if math.Abs(r.Alloc[0]-50) > 1e-6 {
+		t.Errorf("each should get 50, got %v", r.Alloc[0])
+	}
+}
+
+func TestConcaveKKTCondition(t *testing.T) {
+	// Water-filling optimality: all threads with interior allocations have
+	// (approximately) equal derivatives, and threads at 0 have derivative
+	// below that level.
+	fs := []utility.Func{
+		utility.Log{Scale: 5, Shift: 20, C: 1000},
+		utility.Log{Scale: 1, Shift: 20, C: 1000},
+		utility.SatExp{Scale: 8, K: 100, C: 1000},
+	}
+	budget := 300.0
+	r := Concave(fs, budget)
+	feasible(t, fs, r.Alloc, budget)
+	var level float64 = -1
+	for i, f := range fs {
+		a := r.Alloc[i]
+		if a > 1e-6 && a < f.Cap()-1e-6 {
+			d := f.Deriv(a)
+			if level < 0 {
+				level = d
+			} else if math.Abs(d-level) > 1e-4*(1+level) {
+				t.Errorf("thread %d marginal %v != water level %v", i, d, level)
+			}
+		}
+	}
+	for i, f := range fs {
+		if r.Alloc[i] < 1e-6 && f.Deriv(0) > level*(1+1e-4) {
+			t.Errorf("thread %d starved but has marginal %v > level %v", i, f.Deriv(0), level)
+		}
+	}
+}
+
+func TestConcaveUsesWholeBudgetWhenProfitable(t *testing.T) {
+	fs := []utility.Func{
+		utility.Power{Scale: 1, Beta: 0.5, C: 1000},
+		utility.Power{Scale: 2, Beta: 0.7, C: 1000},
+	}
+	budget := 500.0
+	r := Concave(fs, budget)
+	sum := r.Alloc[0] + r.Alloc[1]
+	if math.Abs(sum-budget) > 1e-6*budget {
+		t.Errorf("sum %v, want full budget %v (strictly increasing utilities)", sum, budget)
+	}
+}
+
+func TestConcavePartitionInstance(t *testing.T) {
+	// NP-hardness reduction shape: capped-linear threads with slope 1 and
+	// total knee mass equal to the budget. Optimal: everyone at the knee.
+	knees := []float64{3, 7, 5, 5, 4, 6}
+	budget := 0.0
+	fs := make([]utility.Func, len(knees))
+	for i, k := range knees {
+		fs[i] = utility.CappedLinear{Slope: 1, Knee: k, C: 15}
+		budget += k
+	}
+	r := Concave(fs, budget)
+	feasible(t, fs, r.Alloc, budget)
+	if math.Abs(r.Total-budget) > 1e-6 {
+		t.Errorf("total %v, want %v", r.Total, budget)
+	}
+	for i, k := range knees {
+		if math.Abs(r.Alloc[i]-k) > 1e-6 {
+			t.Errorf("thread %d alloc %v, want knee %v", i, r.Alloc[i], k)
+		}
+	}
+}
+
+func TestConcavePlateauRedistribution(t *testing.T) {
+	// Two identical capped-linear threads; budget covers only 1.5 knees.
+	// Any split with both below knee and summing to budget is optimal.
+	fs := []utility.Func{
+		utility.CappedLinear{Slope: 2, Knee: 10, C: 100},
+		utility.CappedLinear{Slope: 2, Knee: 10, C: 100},
+	}
+	budget := 15.0
+	r := Concave(fs, budget)
+	feasible(t, fs, r.Alloc, budget)
+	if math.Abs(r.Total-30) > 1e-6 {
+		t.Errorf("total %v, want 30 (= 2*budget on slope-2 segment)", r.Total)
+	}
+	if sum := r.Alloc[0] + r.Alloc[1]; math.Abs(sum-budget) > 1e-6 {
+		t.Errorf("sum %v, want %v", sum, budget)
+	}
+}
+
+func TestConcaveMatchesGreedyGroundTruth(t *testing.T) {
+	// On mixed smooth instances the λ-bisection optimum must match Fox's
+	// unit greedy at fine granularity.
+	fs := []utility.Func{
+		utility.Log{Scale: 5, Shift: 30, C: 200},
+		utility.SatExp{Scale: 4, K: 50, C: 200},
+		utility.Power{Scale: 1, Beta: 0.5, C: 200},
+		utility.Saturating{Scale: 6, K: 80, C: 200},
+	}
+	budget := 250.0
+	want := Greedy(fs, budget, 0.05).Total
+	got := Concave(fs, budget).Total
+	if got < want-0.02*want {
+		t.Errorf("Concave total %v < greedy ground truth %v", got, want)
+	}
+}
+
+func TestGreedyExactOnLinear(t *testing.T) {
+	fs := []utility.Func{
+		utility.Linear{Slope: 3, C: 10},
+		utility.Linear{Slope: 1, C: 10},
+	}
+	r := Greedy(fs, 10, 1)
+	// All 10 units should go to the slope-3 thread.
+	if r.Alloc[0] != 10 || r.Alloc[1] != 0 {
+		t.Errorf("alloc %v, want [10 0]", r.Alloc)
+	}
+	if r.Total != 30 {
+		t.Errorf("total %v, want 30", r.Total)
+	}
+}
+
+func TestGreedyRespectsCaps(t *testing.T) {
+	fs := []utility.Func{
+		utility.Linear{Slope: 3, C: 4},
+		utility.Linear{Slope: 1, C: 100},
+	}
+	r := Greedy(fs, 10, 1)
+	feasible(t, fs, r.Alloc, 10)
+	if r.Alloc[0] != 4 {
+		t.Errorf("capped thread got %v, want 4", r.Alloc[0])
+	}
+	if r.Alloc[1] != 6 {
+		t.Errorf("second thread got %v, want 6", r.Alloc[1])
+	}
+}
+
+func TestGreedyDegenerate(t *testing.T) {
+	if r := Greedy(nil, 10, 1); r.Total != 0 {
+		t.Errorf("empty: %+v", r)
+	}
+	fs := []utility.Func{utility.Linear{Slope: 1, C: 10}}
+	if r := Greedy(fs, 10, 0); r.Total != 0 {
+		t.Errorf("zero unit: %+v", r)
+	}
+	if r := Greedy(fs, -1, 1); r.Total != 0 {
+		t.Errorf("negative budget: %+v", r)
+	}
+}
+
+func TestEqualSplit(t *testing.T) {
+	fs := []utility.Func{
+		utility.Linear{Slope: 1, C: 100},
+		utility.Linear{Slope: 2, C: 100},
+		utility.Linear{Slope: 3, C: 100},
+	}
+	r := EqualSplit(fs, 30)
+	for i, a := range r.Alloc {
+		if a != 10 {
+			t.Errorf("thread %d got %v, want 10", i, a)
+		}
+	}
+	if r.Total != 60 {
+		t.Errorf("total %v, want 60", r.Total)
+	}
+}
+
+func TestEqualSplitCaps(t *testing.T) {
+	fs := []utility.Func{
+		utility.Linear{Slope: 1, C: 5},
+		utility.Linear{Slope: 1, C: 100},
+	}
+	r := EqualSplit(fs, 40)
+	if r.Alloc[0] != 5 || r.Alloc[1] != 20 {
+		t.Errorf("alloc %v, want [5 20]", r.Alloc)
+	}
+}
+
+func TestRandomSplitFeasible(t *testing.T) {
+	r := rng.New(1)
+	fs := []utility.Func{
+		utility.Linear{Slope: 1, C: 1000},
+		utility.Linear{Slope: 2, C: 1000},
+		utility.Linear{Slope: 3, C: 1000},
+	}
+	for trial := 0; trial < 100; trial++ {
+		res := RandomSplit(fs, 100, r)
+		feasible(t, fs, res.Alloc, 100)
+	}
+}
+
+func TestRandomSplitSingleThreadIsRandomShare(t *testing.T) {
+	// The paper's random allocation gives even a lone thread a random
+	// share of C, not all of it — that is why UR is suboptimal at β = 1.
+	r := rng.New(2)
+	fs := []utility.Func{utility.Linear{Slope: 1, C: 1000}}
+	sum, full := 0.0, 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		res := RandomSplit(fs, 1000, r)
+		feasible(t, fs, res.Alloc, 1000)
+		sum += res.Alloc[0]
+		if res.Alloc[0] > 999.999 {
+			full++
+		}
+	}
+	if mean := sum / trials; math.Abs(mean-500) > 25 {
+		t.Errorf("lone-thread mean share %v, want ~500 (uniform on [0, C])", mean)
+	}
+	if full > 5 {
+		t.Errorf("lone thread received full capacity %d/%d times", full, trials)
+	}
+}
+
+func TestRandomSplitDeterministicPerSeed(t *testing.T) {
+	fs := []utility.Func{
+		utility.Linear{Slope: 1, C: 1000},
+		utility.Linear{Slope: 2, C: 1000},
+	}
+	a := RandomSplit(fs, 50, rng.New(7))
+	b := RandomSplit(fs, 50, rng.New(7))
+	for i := range a.Alloc {
+		if a.Alloc[i] != b.Alloc[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a.Alloc, b.Alloc)
+		}
+	}
+}
+
+func TestTotalValue(t *testing.T) {
+	fs := []utility.Func{
+		utility.Linear{Slope: 2, C: 10},
+		utility.Linear{Slope: 3, C: 10},
+	}
+	if got := TotalValue(fs, []float64{1, 2}); got != 8 {
+		t.Errorf("TotalValue = %v, want 8", got)
+	}
+}
+
+// Property: Concave is feasible and at least as good as equal split for
+// random log-utility instances (equal split is feasible, so the optimum
+// must dominate it).
+func TestConcaveDominatesEqualSplitProperty(t *testing.T) {
+	r := rng.New(99)
+	prop := func(seed uint32) bool {
+		tr := r.Split(uint64(seed))
+		n := 2 + tr.Intn(8)
+		fs := make([]utility.Func, n)
+		for i := range fs {
+			fs[i] = utility.Log{
+				Scale: tr.Uniform(0.5, 10),
+				Shift: tr.Uniform(1, 100),
+				C:     1000,
+			}
+		}
+		budget := tr.Uniform(10, 3000)
+		opt := Concave(fs, budget)
+		eq := EqualSplit(fs, budget)
+		sum := 0.0
+		for i, a := range opt.Alloc {
+			if a < -1e-9 || a > fs[i].Cap()+1e-9 {
+				return false
+			}
+			sum += a
+		}
+		if sum > budget*(1+1e-9) {
+			return false
+		}
+		return opt.Total >= eq.Total-1e-6*(1+eq.Total)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Concave matches fine-grained Greedy within 2% on random
+// mixed instances.
+func TestConcaveNearGreedyProperty(t *testing.T) {
+	base := rng.New(123)
+	for trial := 0; trial < 25; trial++ {
+		tr := base.Split(uint64(trial))
+		n := 2 + tr.Intn(5)
+		fs := make([]utility.Func, n)
+		for i := range fs {
+			switch tr.Intn(3) {
+			case 0:
+				fs[i] = utility.Log{Scale: tr.Uniform(1, 5), Shift: tr.Uniform(5, 50), C: 100}
+			case 1:
+				fs[i] = utility.SatExp{Scale: tr.Uniform(1, 5), K: tr.Uniform(5, 50), C: 100}
+			default:
+				fs[i] = utility.Saturating{Scale: tr.Uniform(1, 5), K: tr.Uniform(5, 50), C: 100}
+			}
+		}
+		budget := tr.Uniform(20, 250)
+		got := Concave(fs, budget).Total
+		want := Greedy(fs, budget, 0.02).Total
+		if got < want*(1-0.02) {
+			t.Errorf("trial %d: Concave %v < 0.98×Greedy %v", trial, got, want)
+		}
+	}
+}
+
+func TestGainHeapOrdering(t *testing.T) {
+	h := newGainHeap(8)
+	for _, g := range []float64{3, 1, 4, 1.5, 9, 2.6} {
+		h.push(gainItem{gain: g})
+	}
+	prev := math.Inf(1)
+	for h.len() > 0 {
+		it := h.pop()
+		if it.gain > prev {
+			t.Fatalf("heap pop out of order: %v after %v", it.gain, prev)
+		}
+		prev = it.gain
+	}
+}
+
+func BenchmarkConcaveN100(b *testing.B) {
+	fs := make([]utility.Func, 100)
+	for i := range fs {
+		fs[i] = utility.Log{Scale: float64(i%7 + 1), Shift: float64(i%13 + 5), C: 1000}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Concave(fs, 8000)
+	}
+}
+
+func BenchmarkGreedyN100(b *testing.B) {
+	fs := make([]utility.Func, 100)
+	for i := range fs {
+		fs[i] = utility.Log{Scale: float64(i%7 + 1), Shift: float64(i%13 + 5), C: 1000}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(fs, 8000, 1)
+	}
+}

@@ -1,0 +1,68 @@
+package alloc
+
+import "aa/internal/utility"
+
+// DPExact solves the single-server allocation problem exactly on an
+// integer grid by dynamic programming: allocations are multiples of
+// unit, and dp[b] is the best total utility using b units across the
+// threads processed so far. Unlike Concave and Greedy it makes no
+// concavity assumption, so it is the ground truth for arbitrary
+// (even non-concave) utilities at the chosen granularity.
+//
+// Runtime O(n·B²) for B = budget/unit grid points; intended for tests
+// and small calibrations, not production solving.
+func DPExact(fs []utility.Func, budget, unit float64) Result {
+	n := len(fs)
+	alloc := make([]float64, n)
+	if n == 0 || budget <= 0 || unit <= 0 {
+		return Result{Alloc: alloc}
+	}
+	b := int(budget / unit)
+	if b < 0 {
+		return Result{Alloc: alloc}
+	}
+
+	// dp[j] = best utility with j units; choice[i][j] = units given to
+	// thread i in the optimum for the first i+1 threads and j units.
+	dp := make([]float64, b+1)
+	next := make([]float64, b+1)
+	choice := make([][]int16, n)
+
+	for i, f := range fs {
+		choice[i] = make([]int16, b+1)
+		maxUnits := b
+		if cap := int(f.Cap() / unit); cap < maxUnits {
+			maxUnits = cap
+		}
+		// Precompute f at grid points.
+		vals := make([]float64, maxUnits+1)
+		for x := 0; x <= maxUnits; x++ {
+			vals[x] = f.Value(float64(x) * unit)
+		}
+		for j := 0; j <= b; j++ {
+			best, bestX := dp[j]+vals[0], 0
+			lim := j
+			if lim > maxUnits {
+				lim = maxUnits
+			}
+			for x := 1; x <= lim; x++ {
+				if v := dp[j-x] + vals[x]; v > best {
+					best, bestX = v, x
+				}
+			}
+			next[j] = best
+			choice[i][j] = int16(bestX)
+		}
+		dp, next = next, dp
+	}
+
+	// Backtrack.
+	j := b
+	total := dp[b]
+	for i := n - 1; i >= 0; i-- {
+		x := int(choice[i][j])
+		alloc[i] = float64(x) * unit
+		j -= x
+	}
+	return Result{Alloc: alloc, Total: total}
+}

@@ -1,0 +1,122 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+
+	"aa/internal/rng"
+	"aa/internal/utility"
+)
+
+func TestDPExactMatchesGreedyOnConcave(t *testing.T) {
+	base := rng.New(41)
+	for trial := 0; trial < 10; trial++ {
+		r := base.Split(uint64(trial))
+		n := 2 + r.Intn(5)
+		fs := make([]utility.Func, n)
+		for i := range fs {
+			switch r.Intn(3) {
+			case 0:
+				fs[i] = utility.Log{Scale: r.Uniform(1, 5), Shift: r.Uniform(2, 20), C: 60}
+			case 1:
+				fs[i] = utility.SatExp{Scale: r.Uniform(1, 5), K: r.Uniform(5, 30), C: 60}
+			default:
+				fs[i] = utility.CappedLinear{Slope: r.Uniform(0.1, 2), Knee: r.Uniform(5, 50), C: 60}
+			}
+		}
+		budget := r.Uniform(20, 100)
+		dp := DPExact(fs, budget, 1)
+		greedy := Greedy(fs, budget, 1)
+		if math.Abs(dp.Total-greedy.Total) > 1e-9*(1+dp.Total) {
+			t.Errorf("trial %d: DP %v != greedy %v (greedy is exact for concave)",
+				trial, dp.Total, greedy.Total)
+		}
+	}
+}
+
+func TestDPExactFeasible(t *testing.T) {
+	fs := []utility.Func{
+		utility.Linear{Slope: 1, C: 10},
+		utility.Linear{Slope: 2, C: 10},
+	}
+	res := DPExact(fs, 15, 1)
+	sum := 0.0
+	for i, a := range res.Alloc {
+		if a < 0 || a > fs[i].Cap() {
+			t.Errorf("alloc %d = %v out of range", i, a)
+		}
+		sum += a
+	}
+	if sum > 15 {
+		t.Errorf("sum %v > budget", sum)
+	}
+	// Slope-2 thread takes its cap, slope-1 gets the remaining 5.
+	if res.Alloc[1] != 10 || res.Alloc[0] != 5 {
+		t.Errorf("alloc = %v, want [5 10]", res.Alloc)
+	}
+	if res.Total != 25 {
+		t.Errorf("total = %v, want 25", res.Total)
+	}
+}
+
+// cliff is a deliberately non-concave utility: worthless below the
+// threshold, jumps to High at it. Greedy cannot see past the flat start;
+// DP can.
+type cliff struct {
+	at   float64
+	high float64
+	c    float64
+}
+
+func (f cliff) Value(x float64) float64 {
+	if x >= f.at {
+		return f.high
+	}
+	return 0
+}
+func (f cliff) Deriv(float64) float64 { return 0 }
+func (f cliff) Cap() float64          { return f.c }
+
+func TestDPExactBeatsGreedyOnCliff(t *testing.T) {
+	fs := []utility.Func{
+		cliff{at: 8, high: 100, c: 10},
+		utility.Linear{Slope: 1, C: 10},
+	}
+	dp := DPExact(fs, 10, 1)
+	greedy := Greedy(fs, 10, 1)
+	// DP: 8 units to the cliff (100) + 2 to linear (2) = 102.
+	if dp.Total != 102 {
+		t.Errorf("DP total %v, want 102", dp.Total)
+	}
+	if greedy.Total >= dp.Total {
+		t.Errorf("greedy %v should lose to DP %v on non-concave input", greedy.Total, dp.Total)
+	}
+}
+
+func TestDPExactDegenerate(t *testing.T) {
+	if res := DPExact(nil, 10, 1); res.Total != 0 {
+		t.Error("empty")
+	}
+	fs := []utility.Func{utility.Linear{Slope: 1, C: 10}}
+	if res := DPExact(fs, 0, 1); res.Total != 0 {
+		t.Error("zero budget")
+	}
+	if res := DPExact(fs, 10, 0); res.Total != 0 {
+		t.Error("zero unit")
+	}
+}
+
+func TestDPExactConcaveCrossCheck(t *testing.T) {
+	// λ-bisection on a fine grid stays within a small tolerance of the
+	// integer-exact DP optimum.
+	fs := []utility.Func{
+		utility.Log{Scale: 4, Shift: 10, C: 100},
+		utility.Power{Scale: 1, Beta: 0.6, C: 100},
+		utility.SatExp{Scale: 3, K: 25, C: 100},
+	}
+	dp := DPExact(fs, 120, 0.5)
+	cc := Concave(fs, 120)
+	if cc.Total < dp.Total-0.01*(1+dp.Total) {
+		t.Errorf("Concave %v below DP ground truth %v", cc.Total, dp.Total)
+	}
+}

@@ -1,0 +1,59 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+
+	"aa/internal/utility"
+)
+
+// FuzzConcaveFeasibleAndDominant builds a small instance of mixed
+// concave families from fuzzed parameters and asserts the λ-bisection
+// allocator (1) stays feasible and (2) never loses to the equal split.
+func FuzzConcaveFeasibleAndDominant(f *testing.F) {
+	f.Add(1.0, 10.0, 2.0, 20.0, 0.5, 100.0)
+	f.Add(0.1, 1.0, 0.1, 1.0, 0.9, 1.0)
+	f.Add(5.0, 50.0, 3.0, 5.0, 0.3, 500.0)
+	f.Fuzz(func(t *testing.T, s1, k1, s2, k2, beta, budget float64) {
+		ok := func(v float64) bool {
+			return !math.IsNaN(v) && !math.IsInf(v, 0)
+		}
+		if !ok(s1) || !ok(k1) || !ok(s2) || !ok(k2) || !ok(beta) || !ok(budget) {
+			t.Skip()
+		}
+		s1, k1 = math.Abs(s1), math.Abs(k1)
+		s2, k2 = math.Abs(s2), math.Abs(k2)
+		budget = math.Abs(budget)
+		if s1 > 1e6 || s2 > 1e6 || k1 > 1e6 || k2 > 1e6 || budget > 1e6 {
+			t.Skip()
+		}
+		if k1 < 1e-6 || k2 < 1e-6 || budget < 1e-6 {
+			t.Skip()
+		}
+		beta = math.Mod(math.Abs(beta), 1)
+		if beta < 0.05 {
+			beta = 0.05
+		}
+		const c = 100.0
+		fs := []utility.Func{
+			utility.Log{Scale: s1, Shift: k1, C: c},
+			utility.SatExp{Scale: s2, K: k2, C: c},
+			utility.Power{Scale: s1 + 0.1, Beta: beta, C: c},
+		}
+		res := Concave(fs, budget)
+		sum := 0.0
+		for i, a := range res.Alloc {
+			if a < -1e-9 || a > fs[i].Cap()+1e-9 || math.IsNaN(a) {
+				t.Fatalf("allocation %d = %v out of range", i, a)
+			}
+			sum += a
+		}
+		if sum > budget*(1+1e-9)+1e-9 {
+			t.Fatalf("sum %v > budget %v", sum, budget)
+		}
+		eq := EqualSplit(fs, budget)
+		if res.Total < eq.Total*(1-1e-6)-1e-9 {
+			t.Fatalf("Concave %v lost to equal split %v", res.Total, eq.Total)
+		}
+	})
+}

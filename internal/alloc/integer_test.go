@@ -1,0 +1,156 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+
+	"aa/internal/rng"
+	"aa/internal/utility"
+)
+
+func TestIntegerWaterfillMatchesGreedy(t *testing.T) {
+	base := rng.New(51)
+	for trial := 0; trial < 15; trial++ {
+		r := base.Split(uint64(trial))
+		n := 2 + r.Intn(8)
+		fs := make([]utility.Func, n)
+		for i := range fs {
+			switch r.Intn(3) {
+			case 0:
+				fs[i] = utility.Log{Scale: r.Uniform(1, 5), Shift: r.Uniform(2, 40), C: 500}
+			case 1:
+				fs[i] = utility.SatExp{Scale: r.Uniform(1, 5), K: r.Uniform(10, 100), C: 500}
+			default:
+				fs[i] = utility.Power{Scale: r.Uniform(0.5, 2), Beta: r.Uniform(0.3, 0.9), C: 500}
+			}
+		}
+		budget := 50 + r.Intn(800)
+		wf := IntegerWaterfill(fs, budget)
+		greedy := Greedy(fs, float64(budget), 1)
+		if math.Abs(wf.Total-greedy.Total) > 1e-6*(1+greedy.Total) {
+			t.Errorf("trial %d (budget %d): waterfill %v != greedy %v",
+				trial, budget, wf.Total, greedy.Total)
+		}
+		// Integer allocations summing to at most the budget.
+		sum := 0.0
+		for i, a := range wf.Alloc {
+			if a != math.Trunc(a) {
+				t.Errorf("non-integer allocation %v", a)
+			}
+			if a < 0 || a > fs[i].Cap() {
+				t.Errorf("allocation %v out of range", a)
+			}
+			sum += a
+		}
+		if sum > float64(budget) {
+			t.Errorf("sum %v > budget %d", sum, budget)
+		}
+	}
+}
+
+func TestIntegerWaterfillTiesExhaustBudget(t *testing.T) {
+	// Many identical linear threads: every unit has the same gain; the
+	// plateau completion must still hand out the whole budget.
+	fs := make([]utility.Func, 7)
+	for i := range fs {
+		fs[i] = utility.Linear{Slope: 2, C: 100}
+	}
+	res := IntegerWaterfill(fs, 250)
+	sum := 0.0
+	for _, a := range res.Alloc {
+		sum += a
+	}
+	if sum != 250 {
+		t.Errorf("allocated %v of 250 units", sum)
+	}
+	if res.Total != 500 {
+		t.Errorf("total %v, want 500", res.Total)
+	}
+}
+
+func TestIntegerWaterfillBudgetCoversCaps(t *testing.T) {
+	fs := []utility.Func{
+		utility.Linear{Slope: 1, C: 10},
+		utility.Linear{Slope: 2, C: 20},
+	}
+	res := IntegerWaterfill(fs, 100)
+	if res.Alloc[0] != 10 || res.Alloc[1] != 20 {
+		t.Errorf("alloc %v, want caps", res.Alloc)
+	}
+}
+
+func TestIntegerWaterfillDegenerate(t *testing.T) {
+	if res := IntegerWaterfill(nil, 10); res.Total != 0 {
+		t.Error("empty")
+	}
+	fs := []utility.Func{utility.Linear{Slope: 1, C: 10}}
+	if res := IntegerWaterfill(fs, 0); res.Total != 0 {
+		t.Error("zero budget")
+	}
+}
+
+func TestIntegerWaterfillMatchesDPGroundTruth(t *testing.T) {
+	fs := []utility.Func{
+		utility.Log{Scale: 3, Shift: 5, C: 60},
+		utility.CappedLinear{Slope: 0.7, Knee: 25, C: 60},
+		utility.SatExp{Scale: 4, K: 15, C: 60},
+	}
+	for _, budget := range []int{10, 45, 90, 170} {
+		wf := IntegerWaterfill(fs, budget)
+		dp := DPExact(fs, float64(budget), 1)
+		if math.Abs(wf.Total-dp.Total) > 1e-6*(1+dp.Total) {
+			t.Errorf("budget %d: waterfill %v != DP %v", budget, wf.Total, dp.Total)
+		}
+	}
+}
+
+func TestIntegerEqualSplit(t *testing.T) {
+	fs := []utility.Func{
+		utility.Linear{Slope: 3, C: 100},
+		utility.Linear{Slope: 1, C: 100},
+		utility.Linear{Slope: 2, C: 100},
+	}
+	res := IntegerEqualSplit(fs, 10)
+	// 3 each, remainder 1 goes to the slope-3 thread.
+	if res.Alloc[0] != 4 || res.Alloc[1] != 3 || res.Alloc[2] != 3 {
+		t.Errorf("alloc %v, want [4 3 3]", res.Alloc)
+	}
+}
+
+func TestIntegerEqualSplitCapped(t *testing.T) {
+	fs := []utility.Func{
+		utility.Linear{Slope: 1, C: 2},
+		utility.Linear{Slope: 1, C: 100},
+	}
+	res := IntegerEqualSplit(fs, 10)
+	if res.Alloc[0] != 2 {
+		t.Errorf("capped thread got %v", res.Alloc[0])
+	}
+	if res.Alloc[0]+res.Alloc[1] != 10 {
+		t.Errorf("budget not exhausted: %v", res.Alloc)
+	}
+}
+
+// The whole point of the Galil-style algorithm: runtime logarithmic, not
+// linear, in the budget.
+func BenchmarkIntegerWaterfillBigBudget(b *testing.B) {
+	fs := make([]utility.Func, 100)
+	for i := range fs {
+		fs[i] = utility.Log{Scale: float64(i%7 + 1), Shift: float64(i%13 + 5), C: 1e6}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntegerWaterfill(fs, 50_000_000)
+	}
+}
+
+func BenchmarkGreedyBigBudget(b *testing.B) {
+	fs := make([]utility.Func, 100)
+	for i := range fs {
+		fs[i] = utility.Log{Scale: float64(i%7 + 1), Shift: float64(i%13 + 5), C: 1e6}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(fs, 50_000_000, 1000) // coarse units; exact greedy would take minutes
+	}
+}

@@ -1,0 +1,152 @@
+// Package cachesim is the multicore shared-cache substrate behind the
+// paper's first motivating application (§I): threads bound to cores
+// compete for a shared last-level cache, cache partitioning enforces a
+// per-thread way allocation, and each thread's performance is a concave
+// function of its partition size.
+//
+// The package provides a set-associative way-partitioned LRU cache
+// model, synthetic address-trace generators, a profiler that measures a
+// thread's hit-rate curve across partition sizes (the paper's "miss rate
+// curves can be determined by running threads multiple times using
+// different cache allocations", citing Qureshi et al.), an upper concave
+// envelope to fit the model's concavity assumption, and a co-run
+// simulator that validates an AA assignment end to end: because way
+// partitioning isolates threads, the aggregate throughput of a co-run
+// equals the sum of per-thread throughput at their allocated way counts.
+package cachesim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config describes a shared cache: Sets × Ways lines of LineSize bytes.
+// Ways is the resource that AA divides among the threads on a socket.
+type Config struct {
+	Sets     int // number of sets, >= 1
+	Ways     int // total ways (associativity), >= 1
+	LineSize int // bytes per line, >= 1 (used to map addresses to lines)
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Sets < 1 {
+		return fmt.Errorf("cachesim: %d sets", c.Sets)
+	}
+	if c.Ways < 1 {
+		return fmt.Errorf("cachesim: %d ways", c.Ways)
+	}
+	if c.LineSize < 1 {
+		return fmt.Errorf("cachesim: line size %d", c.LineSize)
+	}
+	return nil
+}
+
+// Partition simulates one thread's private way partition: a
+// set-associative LRU cache with the thread's allocated number of ways
+// per set. Under way partitioning threads cannot evict each other's
+// lines, so each thread's partition is an independent cache.
+type Partition struct {
+	sets     int
+	ways     int
+	lineSize int
+	// tags[s] holds the resident line tags of set s in recency order,
+	// most recent first. len(tags[s]) <= ways.
+	tags [][]uint64
+
+	hits     int
+	accesses int
+}
+
+// NewPartition builds an empty partition with the given way count (may
+// be 0: every access misses).
+func NewPartition(cfg Config, ways int) (*Partition, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ways < 0 || ways > cfg.Ways {
+		return nil, fmt.Errorf("cachesim: partition of %d ways outside [0, %d]", ways, cfg.Ways)
+	}
+	p := &Partition{
+		sets:     cfg.Sets,
+		ways:     ways,
+		lineSize: cfg.LineSize,
+		tags:     make([][]uint64, cfg.Sets),
+	}
+	return p, nil
+}
+
+// Access simulates one memory access and reports whether it hit.
+func (p *Partition) Access(addr uint64) bool {
+	p.accesses++
+	if p.ways == 0 {
+		return false
+	}
+	line := addr / uint64(p.lineSize)
+	set := int(line % uint64(p.sets))
+	tag := line / uint64(p.sets)
+	ts := p.tags[set]
+	for i, t := range ts {
+		if t == tag {
+			// Hit: move to front (most recently used).
+			copy(ts[1:i+1], ts[:i])
+			ts[0] = tag
+			p.hits++
+			return true
+		}
+	}
+	// Miss: insert at front, evicting the LRU way if full.
+	if len(ts) < p.ways {
+		ts = append(ts, 0)
+	}
+	copy(ts[1:], ts)
+	ts[0] = tag
+	p.tags[set] = ts
+	return false
+}
+
+// Run feeds an entire trace through the partition.
+func (p *Partition) Run(trace []uint64) {
+	for _, a := range trace {
+		p.Access(a)
+	}
+}
+
+// Hits returns the hit count so far.
+func (p *Partition) Hits() int { return p.hits }
+
+// Accesses returns the access count so far.
+func (p *Partition) Accesses() int { return p.accesses }
+
+// HitRate returns hits/accesses (0 before any access).
+func (p *Partition) HitRate() float64 {
+	if p.accesses == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(p.accesses)
+}
+
+// Reset clears contents and counters, keeping the configuration.
+func (p *Partition) Reset() {
+	for s := range p.tags {
+		p.tags[s] = p.tags[s][:0]
+	}
+	p.hits, p.accesses = 0, 0
+}
+
+// ErrEmptyTrace is returned by profiling helpers when given no accesses.
+var ErrEmptyTrace = errors.New("cachesim: empty trace")
+
+// SimulateHits runs trace against a fresh partition of the given way
+// count and returns (hits, accesses).
+func SimulateHits(cfg Config, ways int, trace []uint64) (int, int, error) {
+	if len(trace) == 0 {
+		return 0, 0, ErrEmptyTrace
+	}
+	p, err := NewPartition(cfg, ways)
+	if err != nil {
+		return 0, 0, err
+	}
+	p.Run(trace)
+	return p.Hits(), p.Accesses(), nil
+}

@@ -1,0 +1,279 @@
+package cachesim
+
+import (
+	"fmt"
+	"sort"
+
+	"aa/internal/alloc"
+	"aa/internal/core"
+	"aa/internal/rng"
+	"aa/internal/utility"
+)
+
+// Workload is one thread's trace and throughput model, the input to the
+// end-to-end pipeline.
+type Workload struct {
+	Trace []uint64
+	Model ThroughputModel
+}
+
+// GenerateWorkloads draws traces for the given generators with
+// independent per-thread streams derived from r.
+func GenerateWorkloads(gens []TraceGen, accesses int, model ThroughputModel, r *rng.Rand) []Workload {
+	out := make([]Workload, len(gens))
+	for i, g := range gens {
+		out[i] = Workload{
+			Trace: g.Generate(accesses, r.Split(uint64(i))),
+			Model: model,
+		}
+	}
+	return out
+}
+
+// BuildInstance profiles every workload on the cache configuration and
+// assembles the AA instance: sockets = servers, ways = resource.
+func BuildInstance(cfg Config, sockets int, workloads []Workload) (*core.Instance, []Profile, error) {
+	if sockets < 1 {
+		return nil, nil, fmt.Errorf("cachesim: %d sockets", sockets)
+	}
+	threads := make([]utility.Func, len(workloads))
+	profiles := make([]Profile, len(workloads))
+	for i, wl := range workloads {
+		p, err := ProfileThread(cfg, wl.Trace)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cachesim: profiling thread %d: %w", i, err)
+		}
+		f, err := p.Utility(wl.Model)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cachesim: thread %d: %w", i, err)
+		}
+		profiles[i] = p
+		threads[i] = f
+	}
+	in := &core.Instance{M: sockets, C: float64(cfg.Ways), Threads: threads}
+	return in, profiles, nil
+}
+
+// QuantizeWays rounds a fractional per-thread way allocation to integers
+// per socket without exceeding the socket's way budget: floor everything,
+// then hand leftover ways to the largest fractional remainders.
+func QuantizeWays(in *core.Instance, a core.Assignment, totalWays int) []int {
+	n := len(a.Alloc)
+	ways := make([]int, n)
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	perServer := make(map[int][]rem)
+	used := make(map[int]int)
+	for i := 0; i < n; i++ {
+		w := int(a.Alloc[i])
+		if w > totalWays {
+			w = totalWays
+		}
+		ways[i] = w
+		used[a.Server[i]] += w
+		perServer[a.Server[i]] = append(perServer[a.Server[i]],
+			rem{idx: i, frac: a.Alloc[i] - float64(w)})
+	}
+	for s, rems := range perServer {
+		left := totalWays - used[s]
+		sort.Slice(rems, func(x, y int) bool { return rems[x].frac > rems[y].frac })
+		for _, rm := range rems {
+			if left <= 0 {
+				break
+			}
+			if rm.frac > 0 && ways[rm.idx] < totalWays {
+				ways[rm.idx]++
+				left--
+			}
+		}
+	}
+	return ways
+}
+
+// OptimizeWays refines a fractional AA assignment into integer way
+// counts by re-solving each socket's way split *exactly* against the
+// measured (possibly non-concave) throughput curves with a small dynamic
+// program. The AA solver decides which threads share a socket using the
+// concave-envelope utilities; this step then removes both quantization
+// error and envelope optimism — e.g. a sequential loop gets its full
+// cliff or nothing, never a useless partial allocation. The result is
+// never worse than plain largest-remainder quantization, since that
+// allocation is feasible for the DP.
+func OptimizeWays(cfg Config, sockets int, workloads []Workload, profiles []Profile, a core.Assignment) []int {
+	n := len(profiles)
+	ways := make([]int, n)
+	for j := 0; j < sockets; j++ {
+		var members []int
+		for i := 0; i < n; i++ {
+			if a.Server[i] == j {
+				members = append(members, i)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		fs := make([]utility.Func, len(members))
+		for k, i := range members {
+			tp := make([]float64, len(profiles[i].HitRate))
+			for w, hr := range profiles[i].HitRate {
+				tp[w] = workloads[i].Model.Throughput(hr)
+			}
+			fs[k] = measuredCurve{vals: tp}
+		}
+		res := alloc.DPExact(fs, float64(cfg.Ways), 1)
+		for k, i := range members {
+			ways[i] = int(res.Alloc[k] + 0.5)
+		}
+	}
+	return ways
+}
+
+// measuredCurve adapts a measured per-way value table to the allocator's
+// utility interface. It is a step function on integer way counts and
+// makes no concavity promise — only the exact DP allocator should
+// consume it.
+type measuredCurve struct {
+	vals []float64
+}
+
+func (m measuredCurve) Value(x float64) float64 {
+	w := int(x + 1e-9)
+	if w < 0 {
+		w = 0
+	}
+	if w >= len(m.vals) {
+		w = len(m.vals) - 1
+	}
+	return m.vals[w]
+}
+
+func (m measuredCurve) Deriv(float64) float64 { return 0 }
+
+func (m measuredCurve) Cap() float64 { return float64(len(m.vals) - 1) }
+
+// CoRunWays simulates every thread at an explicit way allocation,
+// validating socket budgets against the assignment's server map.
+func CoRunWays(cfg Config, sockets int, workloads []Workload, a core.Assignment, ways []int) (CoRunResult, error) {
+	res := CoRunResult{
+		Ways:        ways,
+		HitRate:     make([]float64, len(workloads)),
+		Throughput:  make([]float64, len(workloads)),
+		SocketLoads: make([]int, sockets),
+	}
+	for i, wl := range workloads {
+		hits, accesses, err := SimulateHits(cfg, ways[i], wl.Trace)
+		if err != nil {
+			return CoRunResult{}, fmt.Errorf("cachesim: co-run thread %d: %w", i, err)
+		}
+		hr := float64(hits) / float64(accesses)
+		res.HitRate[i] = hr
+		res.Throughput[i] = wl.Model.Throughput(hr)
+		res.Total += res.Throughput[i]
+		res.SocketLoads[a.Server[i]] += ways[i]
+	}
+	for s, load := range res.SocketLoads {
+		if load > cfg.Ways {
+			return CoRunResult{}, fmt.Errorf("cachesim: socket %d uses %d/%d ways", s, load, cfg.Ways)
+		}
+	}
+	return res, nil
+}
+
+// CoRunResult reports a simulated co-run under a quantized partition.
+type CoRunResult struct {
+	Ways        []int     // ways per thread
+	HitRate     []float64 // measured hit rate per thread
+	Throughput  []float64 // measured throughput per thread
+	Total       float64   // Σ throughput (the metric AA maximizes)
+	SocketLoads []int     // ways used per socket
+}
+
+// CoRun simulates every thread against its allocated partition (with
+// plain largest-remainder quantization of the fractional allocation).
+// Way partitioning isolates threads, so each partition simulates
+// independently; the value of the co-run is validating that the measured
+// aggregate matches the utility model's prediction. For cliff-shaped
+// profiles prefer SnapToVertices + CoRunWays.
+func CoRun(cfg Config, sockets int, workloads []Workload, a core.Assignment) (CoRunResult, error) {
+	ways := QuantizeWays(&core.Instance{M: sockets, C: float64(cfg.Ways)}, a, cfg.Ways)
+	return CoRunWays(cfg, sockets, workloads, a, ways)
+}
+
+// SharedCoRun simulates the no-partitioning baseline: all threads on a
+// socket share the full cache and evict each other freely. Their traces
+// are interleaved round robin (one access per thread per round) into a
+// single LRU cache. This is the regime cache partitioning — and hence
+// the AA problem — exists to improve on: a streaming thread can wreck
+// its neighbours' hit rates. Thread placement still matters, so the
+// assignment's Server map decides who interferes with whom.
+func SharedCoRun(cfg Config, sockets int, workloads []Workload, servers []int) (CoRunResult, error) {
+	if len(servers) != len(workloads) {
+		return CoRunResult{}, fmt.Errorf("cachesim: %d servers for %d workloads", len(servers), len(workloads))
+	}
+	res := CoRunResult{
+		Ways:        make([]int, len(workloads)), // ways are shared; reported as full
+		HitRate:     make([]float64, len(workloads)),
+		Throughput:  make([]float64, len(workloads)),
+		SocketLoads: make([]int, sockets),
+	}
+	for j := 0; j < sockets; j++ {
+		var members []int
+		for i, s := range servers {
+			if s == j {
+				members = append(members, i)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		shared, err := NewPartition(cfg, cfg.Ways)
+		if err != nil {
+			return CoRunResult{}, err
+		}
+		hits := make([]int, len(members))
+		accesses := make([]int, len(members))
+		pos := make([]int, len(members))
+		for {
+			progressed := false
+			for k, i := range members {
+				trace := workloads[i].Trace
+				if pos[k] >= len(trace) {
+					continue
+				}
+				if shared.Access(trace[pos[k]]) {
+					hits[k]++
+				}
+				accesses[k]++
+				pos[k]++
+				progressed = true
+			}
+			if !progressed {
+				break
+			}
+		}
+		for k, i := range members {
+			if accesses[k] == 0 {
+				continue
+			}
+			hr := float64(hits[k]) / float64(accesses[k])
+			res.HitRate[i] = hr
+			res.Throughput[i] = workloads[i].Model.Throughput(hr)
+			res.Total += res.Throughput[i]
+			res.Ways[i] = cfg.Ways
+		}
+		res.SocketLoads[j] = cfg.Ways
+	}
+	return res, nil
+}
+
+// PredictedTotal evaluates the utility model at a quantized allocation —
+// the number CoRun should approximately reproduce.
+func PredictedTotal(in *core.Instance, ways []int) float64 {
+	total := 0.0
+	for i, f := range in.Threads {
+		total += f.Value(float64(ways[i]))
+	}
+	return total
+}

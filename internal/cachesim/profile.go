@@ -1,0 +1,214 @@
+package cachesim
+
+import (
+	"fmt"
+
+	"aa/internal/utility"
+)
+
+// Profile is a thread's measured hit-rate curve: HitRate[w] is the hit
+// rate with w ways, for w = 0..len(HitRate)-1. By the LRU stack
+// (inclusion) property the curve is nondecreasing in w.
+type Profile struct {
+	HitRate  []float64
+	Accesses int
+}
+
+// ProfileThread measures a thread's hit rate at every way count
+// 0..cfg.Ways by running its trace against fresh partitions — the
+// offline profiling step the paper assumes ("utility functions can be
+// determined by measuring the performance of individual threads").
+func ProfileThread(cfg Config, trace []uint64) (Profile, error) {
+	if len(trace) == 0 {
+		return Profile{}, ErrEmptyTrace
+	}
+	p := Profile{
+		HitRate:  make([]float64, cfg.Ways+1),
+		Accesses: len(trace),
+	}
+	for w := 0; w <= cfg.Ways; w++ {
+		hits, accesses, err := SimulateHits(cfg, w, trace)
+		if err != nil {
+			return Profile{}, err
+		}
+		p.HitRate[w] = float64(hits) / float64(accesses)
+	}
+	return p, nil
+}
+
+// ProfileThreadSampled estimates the hit-rate curve from a sampled
+// subset of cache sets — the set-sampling technique of the paper's cited
+// Qureshi et al. hardware monitors (UMON-DSS): simulating 1-in-`stride`
+// sets costs proportionally less while the per-way hit rates stay close,
+// because the working set spreads uniformly over sets. Accesses mapping
+// to unsampled sets are skipped; the returned profile is over the same
+// way counts as the full profiler.
+func ProfileThreadSampled(cfg Config, trace []uint64, stride int) (Profile, error) {
+	if len(trace) == 0 {
+		return Profile{}, ErrEmptyTrace
+	}
+	if stride < 1 {
+		return Profile{}, fmt.Errorf("cachesim: sampling stride %d", stride)
+	}
+	if stride == 1 {
+		return ProfileThread(cfg, trace)
+	}
+	// Keep only accesses whose set index is ≡ 0 (mod stride); remap them
+	// onto a proportionally smaller cache so the occupancy per sampled
+	// set is preserved.
+	sampledSets := cfg.Sets / stride
+	if sampledSets < 1 {
+		return Profile{}, fmt.Errorf("cachesim: stride %d leaves no sets", stride)
+	}
+	small := Config{Sets: sampledSets, Ways: cfg.Ways, LineSize: cfg.LineSize}
+	var sampled []uint64
+	for _, addr := range trace {
+		line := addr / uint64(cfg.LineSize)
+		set := line % uint64(cfg.Sets)
+		if set%uint64(stride) != 0 {
+			continue
+		}
+		// Remap: compress the set index and keep the tag bits.
+		newLine := (line/uint64(cfg.Sets))*uint64(sampledSets) + set/uint64(stride)
+		sampled = append(sampled, newLine*uint64(cfg.LineSize))
+	}
+	if len(sampled) == 0 {
+		return Profile{}, fmt.Errorf("cachesim: sampling stride %d captured no accesses", stride)
+	}
+	p, err := ProfileThread(small, sampled)
+	if err != nil {
+		return Profile{}, err
+	}
+	p.Accesses = len(trace)
+	return p, nil
+}
+
+// MissRate returns 1 − HitRate[w].
+func (p Profile) MissRate(w int) float64 { return 1 - p.HitRate[w] }
+
+// Monotone reports whether the measured curve is nondecreasing (the LRU
+// stack property predicts it always is; a violation indicates a
+// simulator bug).
+func (p Profile) Monotone() bool {
+	for i := 1; i < len(p.HitRate); i++ {
+		if p.HitRate[i] < p.HitRate[i-1]-1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// ConcaveEnvelope returns the upper concave envelope of the curve: the
+// smallest concave nondecreasing curve dominating it. Smooth working-set
+// curves are already concave and unchanged; cliff-shaped curves (e.g.
+// sequential loops) get bridged by their chords. AA's model requires
+// concavity, and the envelope is the standard surrogate: any allocation
+// chosen on the envelope can be rounded to an envelope vertex, where
+// envelope and true curve agree.
+func (p Profile) ConcaveEnvelope() []float64 {
+	ys := p.HitRate
+	n := len(ys)
+	if n <= 2 {
+		return append([]float64(nil), ys...)
+	}
+	// Upper hull by a monotone stack over points (w, ys[w]).
+	type pt struct{ x, y float64 }
+	hull := make([]pt, 0, n)
+	for w := 0; w < n; w++ {
+		q := pt{float64(w), ys[w]}
+		for len(hull) >= 2 {
+			a, b := hull[len(hull)-2], hull[len(hull)-1]
+			// Remove b if it lies below chord a—q (keeps hull concave).
+			if (b.y-a.y)*(q.x-a.x) <= (q.y-a.y)*(b.x-a.x) {
+				hull = hull[:len(hull)-1]
+			} else {
+				break
+			}
+		}
+		hull = append(hull, q)
+	}
+	// Interpolate the hull back onto integer way counts.
+	out := make([]float64, n)
+	seg := 0
+	for w := 0; w < n; w++ {
+		x := float64(w)
+		for seg+1 < len(hull) && hull[seg+1].x < x {
+			seg++
+		}
+		if seg+1 >= len(hull) || hull[seg].x == x {
+			out[w] = hull[min(seg, len(hull)-1)].y
+			continue
+		}
+		a, b := hull[seg], hull[seg+1]
+		t := (x - a.x) / (b.x - a.x)
+		out[w] = a.y + t*(b.y-a.y)
+	}
+	// The envelope of a monotone curve is monotone; guard float noise.
+	for w := 1; w < n; w++ {
+		if out[w] < out[w-1] {
+			out[w] = out[w-1]
+		}
+	}
+	return out
+}
+
+// HullVertices returns the way counts where the upper concave envelope
+// touches the measured curve — the allocations at which the concave
+// surrogate is exact. Any fractional allocation on the envelope is a
+// convex combination of two adjacent vertices, so rounding to vertices
+// never pays for envelope optimism (e.g. a sequential loop has vertices
+// only at 0 and its cliff: it should get all of the cliff or nothing).
+func (p Profile) HullVertices() []int {
+	env := p.ConcaveEnvelope()
+	var out []int
+	for w := range p.HitRate {
+		if p.HitRate[w] >= env[w]-1e-9 {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ThroughputModel converts hit rates into a throughput (accesses per
+// cycle) using a simple in-order memory model: a hit costs HitCycles, a
+// miss costs HitCycles + MissPenalty.
+type ThroughputModel struct {
+	HitCycles   float64 // cycles per hit (>= 1)
+	MissPenalty float64 // extra cycles per miss
+	Weight      float64 // relative importance/instruction rate of the thread
+}
+
+// DefaultModel is a typical LLC model: 1-cycle hit, 40-cycle miss
+// penalty, unit weight.
+var DefaultModel = ThroughputModel{HitCycles: 1, MissPenalty: 40, Weight: 1}
+
+// Throughput returns Weight · accesses-per-cycle at the given hit rate.
+func (m ThroughputModel) Throughput(hitRate float64) float64 {
+	cycles := m.HitCycles + (1-hitRate)*m.MissPenalty
+	return m.Weight / cycles
+}
+
+// Utility converts a profile into a concave AA utility over the way
+// domain [0, ways]: the concave envelope of the throughput-vs-ways
+// curve, linearly interpolated between integer way counts. The returned
+// function's Cap is float64(len(HitRate)-1).
+func (p Profile) Utility(m ThroughputModel) (utility.Func, error) {
+	n := len(p.HitRate)
+	if n < 2 {
+		return nil, fmt.Errorf("cachesim: profile has %d points", n)
+	}
+	raw := make([]float64, n)
+	for w := 0; w < n; w++ {
+		raw[w] = m.Throughput(p.HitRate[w])
+	}
+	// Throughput is increasing in hit rate, so monotonicity carries
+	// over; concavity does not (throughput is convex in hit rate), so
+	// take the envelope in throughput space.
+	tp := Profile{HitRate: raw}
+	env := tp.ConcaveEnvelope()
+	xs := make([]float64, n)
+	for w := range xs {
+		xs[w] = float64(w)
+	}
+	return utility.NewPiecewiseLinear(xs, env)
+}

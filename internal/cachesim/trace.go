@@ -1,0 +1,126 @@
+package cachesim
+
+import "aa/internal/rng"
+
+// TraceGen produces a synthetic address stream for one thread. All
+// generators are deterministic in the supplied generator, so profiles
+// and co-runs are reproducible.
+type TraceGen interface {
+	// Generate returns n addresses.
+	Generate(n int, r *rng.Rand) []uint64
+	// Name identifies the workload in reports.
+	Name() string
+}
+
+// WorkingSet models a thread that touches Lines distinct cache lines
+// uniformly at random — the classic shape whose hit-rate curve rises
+// smoothly and saturates once the working set fits, giving a concave
+// miss-rate curve.
+type WorkingSet struct {
+	Lines    int    // distinct lines in the working set
+	LineSize int    // bytes per line (must match the cache config)
+	Base     uint64 // base address, to separate threads' footprints
+}
+
+// Generate implements TraceGen.
+func (w WorkingSet) Generate(n int, r *rng.Rand) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = w.Base + uint64(r.Intn(w.Lines))*uint64(w.LineSize)
+	}
+	return out
+}
+
+// Name implements TraceGen.
+func (w WorkingSet) Name() string { return "workingset" }
+
+// ZipfReuse models skewed reuse: line popularity follows a Zipf law, so
+// a few hot lines dominate. Small partitions already capture most hits —
+// a sharply saturating, strongly concave curve.
+type ZipfReuse struct {
+	Lines    int     // distinct lines
+	S        float64 // Zipf exponent (larger = more skew)
+	LineSize int
+	Base     uint64
+}
+
+// Generate implements TraceGen.
+func (z ZipfReuse) Generate(n int, r *rng.Rand) []uint64 {
+	zipf := rng.NewZipf(z.S, z.Lines)
+	out := make([]uint64, n)
+	for i := range out {
+		rank := zipf.Sample(r) - 1
+		out[i] = z.Base + uint64(rank)*uint64(z.LineSize)
+	}
+	return out
+}
+
+// Name implements TraceGen.
+func (z ZipfReuse) Name() string { return "zipf" }
+
+// Stream models a streaming thread that never reuses a line: every
+// access misses regardless of partition size. Cache allocated to such a
+// thread is wasted — exactly the thread AA should starve.
+type Stream struct {
+	LineSize int
+	Base     uint64
+}
+
+// Generate implements TraceGen.
+func (s Stream) Generate(n int, r *rng.Rand) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = s.Base + uint64(i)*uint64(s.LineSize)
+	}
+	return out
+}
+
+// Name implements TraceGen.
+func (s Stream) Name() string { return "stream" }
+
+// SequentialLoop cycles through Lines lines in order — the LRU
+// pathological case: with fewer ways than needed the hit rate is ~0,
+// then jumps to ~1 once the loop fits. Its raw profile is convex (a
+// cliff), exercising the concave-envelope machinery.
+type SequentialLoop struct {
+	Lines    int
+	LineSize int
+	Base     uint64
+}
+
+// Generate implements TraceGen.
+func (l SequentialLoop) Generate(n int, r *rng.Rand) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = l.Base + uint64(i%l.Lines)*uint64(l.LineSize)
+	}
+	return out
+}
+
+// Name implements TraceGen.
+func (l SequentialLoop) Name() string { return "loop" }
+
+// Mixture interleaves two generators with probability P of drawing the
+// next address from A — e.g. a hot working set plus streaming traffic.
+type Mixture struct {
+	A, B TraceGen
+	P    float64 // probability of A
+}
+
+// Generate implements TraceGen.
+func (m Mixture) Generate(n int, r *rng.Rand) []uint64 {
+	a := m.A.Generate(n, r)
+	b := m.B.Generate(n, r)
+	out := make([]uint64, n)
+	for i := range out {
+		if r.Float64() < m.P {
+			out[i] = a[i]
+		} else {
+			out[i] = b[i]
+		}
+	}
+	return out
+}
+
+// Name implements TraceGen.
+func (m Mixture) Name() string { return "mix(" + m.A.Name() + "," + m.B.Name() + ")" }

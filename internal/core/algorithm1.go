@@ -1,0 +1,83 @@
+package core
+
+// Assign1 is the paper's Algorithm 1: the O(mn² + n(log mC)²) greedy on
+// the linearized problem, achieving total utility at least
+// α = 2(√2−1) ≈ 0.828 times optimal (Theorem V.16).
+//
+// Each iteration considers the unassigned threads. If some thread still
+// fits its super-optimal allocation ĉ_i on some server (a "full"
+// candidate), the one with the greatest linearized utility g_i(ĉ_i) is
+// assigned there and allocated exactly ĉ_i. Otherwise every remaining
+// thread must settle for a server's leftovers; the (thread, server) pair
+// extracting the greatest utility g_i(C_j) is chosen and the thread takes
+// everything the server has left.
+func Assign1(in *Instance) Assignment {
+	so := SuperOptimal(in)
+	gs := Linearize(in, so)
+	return Assign1Linearized(in, gs)
+}
+
+// Assign1Linearized runs Algorithm 1 given precomputed linearized
+// utilities, letting callers share one super-optimal computation across
+// several algorithms (or drive adversarial linearizations in tests).
+func Assign1Linearized(in *Instance, gs []Linearized) Assignment {
+	n, m := in.N(), in.M
+	out := NewAssignment(n)
+	residual := make([]float64, m)
+	for j := range residual {
+		residual[j] = in.C
+	}
+	assigned := make([]bool, n)
+
+	for remaining := n; remaining > 0; remaining-- {
+		// Phase 1 candidate: unassigned thread with the greatest g_i(ĉ_i)
+		// among those whose ĉ_i still fits on some server. Track the
+		// fullest feasible server for the tie-breaking placement.
+		bestFull, bestFullServer := -1, -1
+		var bestFullVal float64
+		// Phase 2 candidate: pair (i, j) maximizing g_i(C_j); since no
+		// server fits ĉ_i, g_i(C_j) = slope_i · C_j, maximized at the
+		// fullest server, so only the fullest server matters per thread.
+		maxServer, maxResidual := 0, residual[0]
+		for j := 1; j < m; j++ {
+			if residual[j] > maxResidual {
+				maxServer, maxResidual = j, residual[j]
+			}
+		}
+		bestPartial := -1
+		var bestPartialVal float64
+
+		for i := 0; i < n; i++ {
+			if assigned[i] {
+				continue
+			}
+			g := gs[i]
+			if g.CHat <= maxResidual {
+				// Thread fits somewhere (in particular on maxServer).
+				if bestFull < 0 || g.UHat > bestFullVal {
+					bestFull, bestFullVal, bestFullServer = i, g.UHat, maxServer
+				}
+				continue
+			}
+			if v := g.Value(maxResidual); bestPartial < 0 || v > bestPartialVal {
+				bestPartial, bestPartialVal = i, v
+			}
+		}
+
+		var pick, server int
+		var amount float64
+		if bestFull >= 0 {
+			pick, server, amount = bestFull, bestFullServer, gs[bestFull].CHat
+		} else {
+			pick, server, amount = bestPartial, maxServer, maxResidual
+		}
+		assigned[pick] = true
+		out.Server[pick] = server
+		out.Alloc[pick] = amount
+		residual[server] -= amount
+		if residual[server] < 0 {
+			residual[server] = 0 // float guard
+		}
+	}
+	return out
+}

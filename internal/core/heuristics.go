@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+
+	"aa/internal/alloc"
+	"aa/internal/rng"
+	"aa/internal/utility"
+)
+
+// The four heuristics the paper compares against in §VII. Each combines
+// an assignment rule (Uniform = round robin, Random = uniform random
+// server) with an allocation rule (Uniform = equal split of C among the
+// server's threads, Random = flat-Dirichlet random split).
+
+// AssignUU is uniform assignment + uniform allocation.
+func AssignUU(in *Instance) Assignment {
+	return heuristic(in, roundRobin(in), equalAlloc, nil)
+}
+
+// AssignUR is uniform assignment + random allocation.
+func AssignUR(in *Instance, r *rng.Rand) Assignment {
+	return heuristic(in, roundRobin(in), randomAlloc, r)
+}
+
+// AssignRU is random assignment + uniform allocation.
+func AssignRU(in *Instance, r *rng.Rand) Assignment {
+	return heuristic(in, randomServers(in, r), equalAlloc, r)
+}
+
+// AssignRR is random assignment + random allocation.
+func AssignRR(in *Instance, r *rng.Rand) Assignment {
+	return heuristic(in, randomServers(in, r), randomAlloc, r)
+}
+
+// roundRobin maps thread i to server i mod m.
+func roundRobin(in *Instance) []int {
+	servers := make([]int, in.N())
+	for i := range servers {
+		servers[i] = i % in.M
+	}
+	return servers
+}
+
+// randomServers maps each thread to an independently uniform server.
+func randomServers(in *Instance, r *rng.Rand) []int {
+	servers := make([]int, in.N())
+	for i := range servers {
+		servers[i] = r.Intn(in.M)
+	}
+	return servers
+}
+
+type allocRule func(fs []utility.Func, budget float64, r *rng.Rand) alloc.Result
+
+func equalAlloc(fs []utility.Func, budget float64, _ *rng.Rand) alloc.Result {
+	return alloc.EqualSplit(fs, budget)
+}
+
+func randomAlloc(fs []utility.Func, budget float64, r *rng.Rand) alloc.Result {
+	return alloc.RandomSplit(fs, budget, r)
+}
+
+// heuristic applies a fixed thread→server map and a per-server allocation
+// rule.
+func heuristic(in *Instance, servers []int, rule allocRule, r *rng.Rand) Assignment {
+	n := in.N()
+	out := NewAssignment(n)
+	copy(out.Server, servers)
+	fs := cappedThreads(in)
+	// Group threads per server.
+	groups := make([][]int, in.M)
+	for i, s := range servers {
+		groups[s] = append(groups[s], i)
+	}
+	for _, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		gfs := make([]utility.Func, len(group))
+		for k, i := range group {
+			gfs[k] = fs[i]
+		}
+		res := rule(gfs, in.C, r)
+		for k, i := range group {
+			out.Alloc[i] = res.Alloc[k]
+		}
+	}
+	return out
+}
+
+// AssignBestAlloc keeps a heuristic's thread→server map but replaces its
+// allocation step with the optimal per-server concave allocation. It
+// isolates how much of AA's advantage comes from joint assignment versus
+// allocation alone — the ablation DESIGN.md calls out.
+func AssignBestAlloc(in *Instance, servers []int) Assignment {
+	n := in.N()
+	out := NewAssignment(n)
+	copy(out.Server, servers)
+	fs := cappedThreads(in)
+	groups := make([][]int, in.M)
+	for i, s := range servers {
+		groups[s] = append(groups[s], i)
+	}
+	for _, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		gfs := make([]utility.Func, len(group))
+		for k, i := range group {
+			gfs[k] = fs[i]
+		}
+		res := alloc.Concave(gfs, in.C)
+		for k, i := range group {
+			out.Alloc[i] = res.Alloc[k]
+		}
+	}
+	return out
+}
+
+// AssignFixedRequest is the strawman from the paper's introduction:
+// each thread demands a fixed amount requests[i]; threads are placed
+// first-fit in the given order and receive exactly their request if it
+// fits on some server, otherwise they are parked (zero allocation) on the
+// emptiest server. No adjustment to co-located threads is ever made.
+func AssignFixedRequest(in *Instance, requests []float64) Assignment {
+	n := in.N()
+	out := NewAssignment(n)
+	residual := make([]float64, in.M)
+	for j := range residual {
+		residual[j] = in.C
+	}
+	for i := 0; i < n; i++ {
+		req := math.Min(requests[i], in.C)
+		placed := false
+		for j := 0; j < in.M; j++ {
+			if residual[j] >= req {
+				out.Server[i] = j
+				out.Alloc[i] = req
+				residual[j] -= req
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Park with zero resource on the emptiest server.
+			best := 0
+			for j := 1; j < in.M; j++ {
+				if residual[j] > residual[best] {
+					best = j
+				}
+			}
+			out.Server[i] = best
+			out.Alloc[i] = 0
+		}
+	}
+	return out
+}

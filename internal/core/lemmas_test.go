@@ -1,0 +1,172 @@
+package core
+
+// Executable lemmas: the structural facts Lemmas V.5–V.8 of the paper
+// prove about Algorithm 2's output, checked directly on the assignments
+// the implementation produces. The lemmas assume the regime of Lemma
+// V.3 (Σ ĉ_i = mC), which holds when utilities are strictly increasing
+// and n ≥ m, so the generators here use strictly increasing families.
+
+import (
+	"math"
+	"testing"
+
+	"aa/internal/rng"
+	"aa/internal/utility"
+)
+
+// strictlyIncreasingInstance builds an instance in the Σĉ = mC regime.
+func strictlyIncreasingInstance(r *rng.Rand, n, m int, c float64) *Instance {
+	threads := make([]utility.Func, n)
+	for i := range threads {
+		switch r.Intn(3) {
+		case 0:
+			threads[i] = utility.Log{Scale: r.Uniform(0.5, 5), Shift: r.Uniform(1, c/2), C: c}
+		case 1:
+			threads[i] = utility.Power{Scale: r.Uniform(0.5, 2), Beta: r.Uniform(0.3, 0.95), C: c}
+		default:
+			threads[i] = utility.Linear{Slope: r.Uniform(0.1, 3), C: c}
+		}
+	}
+	return &Instance{M: m, C: c, Threads: threads}
+}
+
+// splitFullUnfull partitions threads into D (full: c_i = ĉ_i) and E
+// (unfull) per the paper's definitions in §V-C.
+func splitFullUnfull(so SuperOpt, a Assignment) (full, unfull []int) {
+	for i := range a.Alloc {
+		if a.Alloc[i] >= so.Alloc[i]-1e-9*(1+so.Alloc[i]) {
+			full = append(full, i)
+		} else {
+			unfull = append(unfull, i)
+		}
+	}
+	return full, unfull
+}
+
+func lemmaInstances(t *testing.T, check func(t *testing.T, in *Instance, so SuperOpt, gs []Linearized, a Assignment, full, unfull []int)) {
+	t.Helper()
+	base := rng.New(71)
+	for trial := 0; trial < 40; trial++ {
+		r := base.Split(uint64(trial))
+		m := 1 + r.Intn(6)
+		n := m + r.Intn(40)
+		in := strictlyIncreasingInstance(r, n, m, 100)
+		so := SuperOptimal(in)
+		gs := Linearize(in, so)
+		a := Assign2Linearized(in, gs)
+		full, unfull := splitFullUnfull(so, a)
+		check(t, in, so, gs, a, full, unfull)
+	}
+}
+
+// Lemma V.5: at most one unfull thread is assigned to any server.
+func TestLemmaV5AtMostOneUnfullPerServer(t *testing.T) {
+	lemmaInstances(t, func(t *testing.T, in *Instance, so SuperOpt, gs []Linearized, a Assignment, full, unfull []int) {
+		perServer := make(map[int]int)
+		for _, i := range unfull {
+			perServer[a.Server[i]]++
+			if perServer[a.Server[i]] > 1 {
+				t.Fatalf("server %d hosts %d unfull threads", a.Server[i], perServer[a.Server[i]])
+			}
+		}
+	})
+}
+
+// Lemma V.5's proof mechanism: a server hosting an unfull thread has no
+// remaining resource (the unfull thread took everything left).
+func TestLemmaV5UnfullServersAreFull(t *testing.T) {
+	lemmaInstances(t, func(t *testing.T, in *Instance, so SuperOpt, gs []Linearized, a Assignment, full, unfull []int) {
+		loads := a.ServerLoads(in)
+		for _, i := range unfull {
+			if load := loads[a.Server[i]]; load < in.C-1e-6*(1+in.C) {
+				t.Fatalf("unfull thread %d sits on server %d with residual %v",
+					i, a.Server[i], in.C-load)
+			}
+		}
+	})
+}
+
+// Corollary of Lemma V.5: |E| <= m (in fact |E| < m when Σĉ = mC).
+func TestLemmaV6UnfullCountBelowServerCount(t *testing.T) {
+	lemmaInstances(t, func(t *testing.T, in *Instance, so SuperOpt, gs []Linearized, a Assignment, full, unfull []int) {
+		if len(unfull) > in.M {
+			t.Fatalf("|E| = %d > m = %d", len(unfull), in.M)
+		}
+	})
+}
+
+// Lemma V.7: Σ_{i∈E} c_i >= (|E|/m)·Σ_{i∈E} ĉ_i.
+func TestLemmaV7UnfullResourceShare(t *testing.T) {
+	lemmaInstances(t, func(t *testing.T, in *Instance, so SuperOpt, gs []Linearized, a Assignment, full, unfull []int) {
+		if len(unfull) == 0 {
+			return
+		}
+		var got, hat float64
+		for _, i := range unfull {
+			got += a.Alloc[i]
+			hat += so.Alloc[i]
+		}
+		want := float64(len(unfull)) / float64(in.M) * hat
+		if got < want-1e-6*(1+want) {
+			t.Fatalf("Σ_E c = %v < (|E|/m)·Σ_E ĉ = %v (|E|=%d, m=%d)",
+				got, want, len(unfull), in.M)
+		}
+	})
+}
+
+// Lemma V.8 / Corollary V.9: there are at least m full threads, and the
+// full threads' linearized utility sum is at least m·γ where γ is the
+// largest super-optimal utility among unfull threads.
+func TestLemmaV8FullThreadsDominate(t *testing.T) {
+	lemmaInstances(t, func(t *testing.T, in *Instance, so SuperOpt, gs []Linearized, a Assignment, full, unfull []int) {
+		if in.N() >= in.M && len(full) < in.M {
+			t.Fatalf("only %d full threads for m = %d servers", len(full), in.M)
+		}
+		gamma := 0.0
+		for _, i := range unfull {
+			if gs[i].UHat > gamma {
+				gamma = gs[i].UHat
+			}
+		}
+		var fullSum float64
+		for _, i := range full {
+			fullSum += gs[i].Value(a.Alloc[i])
+		}
+		if want := float64(in.M) * gamma; fullSum < want-1e-6*(1+want) {
+			t.Fatalf("Σ_D g = %v < m·γ = %v", fullSum, want)
+		}
+	})
+}
+
+// Lemma V.3: with strictly increasing utilities and n >= m the
+// super-optimal allocation saturates the pooled capacity.
+func TestLemmaV3PooledSaturation(t *testing.T) {
+	lemmaInstances(t, func(t *testing.T, in *Instance, so SuperOpt, gs []Linearized, a Assignment, full, unfull []int) {
+		sum := 0.0
+		for _, c := range so.Alloc {
+			sum += c
+		}
+		want := float64(in.M) * in.C
+		if math.Abs(sum-want) > 1e-6*want {
+			t.Fatalf("Σĉ = %v, want mC = %v", sum, want)
+		}
+	})
+}
+
+// Lemma V.10: among unfull threads, higher linearized slope implies at
+// least as much allocated resource.
+func TestLemmaV10SlopeOrdering(t *testing.T) {
+	lemmaInstances(t, func(t *testing.T, in *Instance, so SuperOpt, gs []Linearized, a Assignment, full, unfull []int) {
+		for x := 0; x < len(unfull); x++ {
+			for y := 0; y < len(unfull); y++ {
+				i, j := unfull[x], unfull[y]
+				if gs[i].Slope() > gs[j].Slope()*(1+1e-9)+1e-12 {
+					if a.Alloc[i] < a.Alloc[j]-1e-6*(1+a.Alloc[j]) {
+						t.Fatalf("slope(%d)=%v > slope(%d)=%v but c_%d=%v < c_%d=%v",
+							i, gs[i].Slope(), j, gs[j].Slope(), i, a.Alloc[i], j, a.Alloc[j])
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"errors"
+
+	"aa/internal/utility"
+)
+
+// ReduceFromPartition builds the AA instance of the paper's NP-hardness
+// proof (Theorem IV.1) from a PARTITION instance: two servers, each with
+// capacity C = ½ Σ c_i, and one thread per number with the capped-linear
+// utility f_i(x) = min(x, c_i).
+//
+// The numbers must be positive. The resulting instance has maximum
+// utility Σ c_i if and only if the numbers can be split into two halves
+// of equal sum.
+func ReduceFromPartition(nums []float64) (*Instance, error) {
+	if len(nums) == 0 {
+		return nil, errors.New("core: empty partition instance")
+	}
+	sum := 0.0
+	for _, v := range nums {
+		if v <= 0 {
+			return nil, errors.New("core: partition numbers must be positive")
+		}
+		sum += v
+	}
+	c := sum / 2
+	threads := make([]utility.Func, len(nums))
+	for i, v := range nums {
+		threads[i] = utility.CappedLinear{Slope: 1, Knee: v, C: c}
+	}
+	return &Instance{M: 2, C: c, Threads: threads}, nil
+}
+
+// PartitionTarget returns the utility value Σ c_i that certifies a
+// PARTITION solution under the reduction.
+func PartitionTarget(nums []float64) float64 {
+	sum := 0.0
+	for _, v := range nums {
+		sum += v
+	}
+	return sum
+}
+
+// HasPartition decides a small PARTITION instance by solving the reduced
+// AA instance exactly and checking whether the optimal utility reaches
+// Σ c_i (within tol). It inherits Exhaustive's size limits.
+func HasPartition(nums []float64, tol float64) (bool, error) {
+	in, err := ReduceFromPartition(nums)
+	if err != nil {
+		return false, err
+	}
+	best, err := Exhaustive(in)
+	if err != nil {
+		return false, err
+	}
+	return best.Utility(in) >= PartitionTarget(nums)-tol, nil
+}

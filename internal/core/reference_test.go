@@ -1,0 +1,109 @@
+package core
+
+// A literal, unoptimized translation of the paper's Algorithm 1
+// pseudocode, kept as a fidelity oracle: the production Assign1
+// (which only examines the fullest server, an O(m)-per-iteration
+// simplification justified in its comments) must make exactly the same
+// choices under the same tie-breaking.
+
+import (
+	"testing"
+
+	"aa/internal/rng"
+)
+
+// assign1Reference scans the full (thread, server) candidate sets U each
+// iteration, exactly as written in the paper.
+func assign1Reference(in *Instance, gs []Linearized) Assignment {
+	n, m := in.N(), in.M
+	out := NewAssignment(n)
+	residual := make([]float64, m)
+	for j := range residual {
+		residual[j] = in.C
+	}
+	assigned := make([]bool, n)
+
+	for remaining := n; remaining > 0; remaining-- {
+		// U = {(i, j) : thread i unassigned, C_j >= ĉ_i}. Line 6 picks
+		// the U-thread with greatest g_i(ĉ_i), first index on ties, and
+		// places it on the fullest feasible server — the production
+		// tie-breaks.
+		bestI := -1
+		for i := 0; i < n; i++ {
+			if assigned[i] {
+				continue
+			}
+			feasible := false
+			for j := 0; j < m; j++ {
+				if residual[j] >= gs[i].CHat {
+					feasible = true
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			if bestI == -1 || gs[i].UHat > gs[bestI].UHat {
+				bestI = i
+			}
+		}
+		var pick, server int
+		var amount float64
+		if bestI >= 0 {
+			pick = bestI
+			server = -1
+			for j := 0; j < m; j++ {
+				if residual[j] >= gs[pick].CHat &&
+					(server < 0 || residual[j] > residual[server]) {
+					server = j
+				}
+			}
+			amount = gs[pick].CHat
+		} else {
+			// Line 9: the (thread, server) pair with greatest g_i(C_j).
+			bestI, bestJ, bestVal := -1, -1, -1.0
+			for i := 0; i < n; i++ {
+				if assigned[i] {
+					continue
+				}
+				for j := 0; j < m; j++ {
+					if v := gs[i].Value(residual[j]); v > bestVal {
+						bestI, bestJ, bestVal = i, j, v
+					}
+				}
+			}
+			pick, server = bestI, bestJ
+			amount = residual[server]
+		}
+		assigned[pick] = true
+		out.Server[pick] = server
+		out.Alloc[pick] = amount
+		residual[server] -= amount
+		if residual[server] < 0 {
+			residual[server] = 0
+		}
+	}
+	return out
+}
+
+// The production Assign1 must achieve exactly the reference's total
+// utility on random instances (identical choices up to ties between
+// equal-utility options, which cannot change the total).
+func TestAssign1MatchesLiteralPseudocode(t *testing.T) {
+	base := rng.New(211)
+	for trial := 0; trial < 25; trial++ {
+		r := base.Split(uint64(trial))
+		in := randomInstance(r, 2+r.Intn(18), 1+r.Intn(5), 100)
+		so := SuperOptimal(in)
+		gs := Linearize(in, so)
+		prod := Assign1Linearized(in, gs).Utility(in)
+		ref := assign1Reference(in, gs).Utility(in)
+		diff := prod - ref
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1e-9*(1+ref) {
+			t.Errorf("trial %d: production %v != reference %v", trial, prod, ref)
+		}
+	}
+}

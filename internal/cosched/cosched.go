@@ -1,0 +1,173 @@
+// Package cosched implements pair co-scheduling, the related-work
+// baseline from the paper's §II (Jiang et al.): divide 2m threads into m
+// pairs, each pair sharing one socket's cache without partitioning, so
+// as to minimize total interference (equivalently maximize total co-run
+// throughput). The paper's criticism — co-scheduling requires measuring
+// the performance of *groups* of threads, which explodes combinatorially
+// — is visible directly in the API: the cost model takes a measured
+// pairwise co-run matrix, which already needs O(n²) co-run measurements
+// versus AA's O(n·W) solo profiling.
+//
+// For moderate n the optimal pairing is found by exact DP over subsets
+// (O(2^n · n)); a greedy matcher handles larger inputs.
+package cosched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// PairCost is a symmetric matrix: PairCost[i][j] is the total value
+// (e.g. combined throughput — higher is better) of co-running threads i
+// and j on one socket. The diagonal is unused.
+type PairCost [][]float64
+
+// Validate checks the matrix is square, symmetric and finite.
+func (pc PairCost) Validate() error {
+	n := len(pc)
+	if n == 0 {
+		return errors.New("cosched: empty cost matrix")
+	}
+	for i := range pc {
+		if len(pc[i]) != n {
+			return fmt.Errorf("cosched: row %d has %d entries, want %d", i, len(pc[i]), n)
+		}
+		for j := range pc[i] {
+			if math.IsNaN(pc[i][j]) || math.IsInf(pc[i][j], 0) {
+				return fmt.Errorf("cosched: non-finite cost at (%d,%d)", i, j)
+			}
+			if i != j && math.Abs(pc[i][j]-pc[j][i]) > 1e-9*(1+math.Abs(pc[i][j])) {
+				return fmt.Errorf("cosched: asymmetric cost at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Pairing assigns each thread a partner; Pairs lists each pair once.
+type Pairing struct {
+	Pairs [][2]int
+	Value float64
+}
+
+// OptimalPairs finds the maximum-value perfect matching of an even
+// number of threads by DP over subsets. n must be even and at most
+// MaxExactThreads.
+const MaxExactThreads = 22
+
+// OptimalPairs computes the exact optimal pairing.
+func OptimalPairs(pc PairCost) (Pairing, error) {
+	if err := pc.Validate(); err != nil {
+		return Pairing{}, err
+	}
+	n := len(pc)
+	if n%2 != 0 {
+		return Pairing{}, fmt.Errorf("cosched: %d threads cannot be paired", n)
+	}
+	if n > MaxExactThreads {
+		return Pairing{}, fmt.Errorf("cosched: n=%d exceeds exact limit %d", n, MaxExactThreads)
+	}
+	full := (1 << n) - 1
+	dp := make([]float64, full+1)
+	choice := make([]int, full+1) // packed pair (i<<8|j) chosen for this subset
+	for s := 1; s <= full; s++ {
+		dp[s] = math.Inf(-1)
+		choice[s] = -1
+	}
+	dp[0] = 0
+	for s := 0; s <= full; s++ {
+		if math.IsInf(dp[s], -1) || bits.OnesCount(uint(s))%2 != 0 {
+			continue
+		}
+		if s == full {
+			continue
+		}
+		// Always match the lowest unset thread — avoids double counting.
+		i := bits.TrailingZeros(uint(^s))
+		for j := i + 1; j < n; j++ {
+			if s&(1<<j) != 0 {
+				continue
+			}
+			t := s | 1<<i | 1<<j
+			if v := dp[s] + pc[i][j]; v > dp[t] {
+				dp[t] = v
+				choice[t] = i<<8 | j
+			}
+		}
+	}
+	if math.IsInf(dp[full], -1) {
+		return Pairing{}, errors.New("cosched: no perfect matching found")
+	}
+	out := Pairing{Value: dp[full]}
+	for s := full; s != 0; {
+		packed := choice[s]
+		i, j := packed>>8, packed&0xff
+		out.Pairs = append(out.Pairs, [2]int{i, j})
+		s &^= 1<<i | 1<<j
+	}
+	return out, nil
+}
+
+// GreedyPairs pairs threads greedily by descending pair value — the
+// practical heuristic for large n where the subset DP is infeasible.
+func GreedyPairs(pc PairCost) (Pairing, error) {
+	if err := pc.Validate(); err != nil {
+		return Pairing{}, err
+	}
+	n := len(pc)
+	if n%2 != 0 {
+		return Pairing{}, fmt.Errorf("cosched: %d threads cannot be paired", n)
+	}
+	used := make([]bool, n)
+	var out Pairing
+	for k := 0; k < n/2; k++ {
+		bi, bj, best := -1, -1, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if used[j] {
+					continue
+				}
+				if pc[i][j] > best {
+					bi, bj, best = i, j, pc[i][j]
+				}
+			}
+		}
+		used[bi], used[bj] = true, true
+		out.Pairs = append(out.Pairs, [2]int{bi, bj})
+		out.Value += best
+	}
+	return out, nil
+}
+
+// RoundRobinPairs pairs threads (0,1), (2,3), ... — the naive baseline.
+func RoundRobinPairs(pc PairCost) (Pairing, error) {
+	if err := pc.Validate(); err != nil {
+		return Pairing{}, err
+	}
+	n := len(pc)
+	if n%2 != 0 {
+		return Pairing{}, fmt.Errorf("cosched: %d threads cannot be paired", n)
+	}
+	var out Pairing
+	for i := 0; i < n; i += 2 {
+		out.Pairs = append(out.Pairs, [2]int{i, i + 1})
+		out.Value += pc[i][i+1]
+	}
+	return out, nil
+}
+
+// Servers converts a pairing into a thread→socket map (pair k on socket
+// k), for feeding co-run simulators.
+func (p Pairing) Servers(n int) []int {
+	servers := make([]int, n)
+	for k, pair := range p.Pairs {
+		servers[pair[0]] = k
+		servers[pair[1]] = k
+	}
+	return servers
+}

@@ -1,0 +1,183 @@
+package cosched
+
+import (
+	"math"
+	"testing"
+
+	"aa/internal/cachesim"
+	"aa/internal/core"
+	"aa/internal/rng"
+)
+
+func symMatrix(vals [][]float64) PairCost {
+	n := len(vals)
+	pc := make(PairCost, n)
+	for i := range pc {
+		pc[i] = make([]float64, n)
+		for j := range pc[i] {
+			pc[i][j] = vals[i][j]
+		}
+	}
+	return pc
+}
+
+func TestValidate(t *testing.T) {
+	ok := symMatrix([][]float64{{0, 1}, {1, 0}})
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []PairCost{
+		{},
+		{{0, 1}},                           // ragged
+		{{0, 1}, {2, 0}},                   // asymmetric
+		{{0, math.NaN()}, {math.NaN(), 0}}, // non-finite
+	}
+	for i, pc := range bad {
+		if err := pc.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestOptimalPairsHandExample(t *testing.T) {
+	// 4 threads; best pairing is (0,3) + (1,2) = 10 + 8 = 18.
+	pc := symMatrix([][]float64{
+		{0, 5, 6, 10},
+		{5, 0, 8, 3},
+		{6, 8, 0, 4},
+		{10, 3, 4, 0},
+	})
+	p, err := OptimalPairs(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Value != 18 {
+		t.Errorf("value %v, want 18", p.Value)
+	}
+	if len(p.Pairs) != 2 {
+		t.Errorf("pairs %v", p.Pairs)
+	}
+}
+
+func TestOptimalPairsRejects(t *testing.T) {
+	odd := symMatrix([][]float64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}})
+	if _, err := OptimalPairs(odd); err == nil {
+		t.Error("odd thread count accepted")
+	}
+	big := make(PairCost, MaxExactThreads+2)
+	for i := range big {
+		big[i] = make([]float64, MaxExactThreads+2)
+	}
+	if _, err := OptimalPairs(big); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+func TestOptimalDominatesGreedyAndRoundRobin(t *testing.T) {
+	base := rng.New(91)
+	for trial := 0; trial < 20; trial++ {
+		r := base.Split(uint64(trial))
+		n := 2 * (2 + r.Intn(4)) // 4..10 threads
+		pc := make(PairCost, n)
+		for i := range pc {
+			pc[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := r.Uniform(0, 10)
+				pc[i][j], pc[j][i] = v, v
+			}
+		}
+		opt, err := OptimalPairs(pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := GreedyPairs(pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := RoundRobinPairs(pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gr.Value > opt.Value+1e-9 || rr.Value > opt.Value+1e-9 {
+			t.Errorf("trial %d: heuristic beat optimal (opt %v, greedy %v, rr %v)",
+				trial, opt.Value, gr.Value, rr.Value)
+		}
+		// Each pairing must be a perfect matching.
+		for _, p := range []Pairing{opt, gr, rr} {
+			seen := make([]bool, n)
+			for _, pair := range p.Pairs {
+				if seen[pair[0]] || seen[pair[1]] || pair[0] == pair[1] {
+					t.Fatalf("invalid matching %v", p.Pairs)
+				}
+				seen[pair[0]], seen[pair[1]] = true, true
+			}
+		}
+	}
+}
+
+func TestServersMap(t *testing.T) {
+	p := Pairing{Pairs: [][2]int{{0, 3}, {1, 2}}}
+	servers := p.Servers(4)
+	if servers[0] != 0 || servers[3] != 0 || servers[1] != 1 || servers[2] != 1 {
+		t.Errorf("servers %v", servers)
+	}
+}
+
+// The paper's §II argument made concrete: optimal co-scheduling (shared
+// caches, measured pairwise) versus AA (partitioned caches, solo
+// profiles). Co-scheduling needs O(n²) co-run measurements to build its
+// cost matrix; AA needs O(n·W) solo runs — and with partitioning it
+// should match or beat even the optimal pairing, because isolation
+// dominates interference for antagonistic mixes.
+func TestAAPartitioningBeatsOptimalCoScheduling(t *testing.T) {
+	cfg := cachesim.Config{Sets: 32, Ways: 8, LineSize: 64}
+	r := rng.New(92)
+	gens := []cachesim.TraceGen{
+		cachesim.WorkingSet{Lines: 100, LineSize: 64, Base: 0},
+		cachesim.Stream{LineSize: 64, Base: 1 << 30},
+		cachesim.WorkingSet{Lines: 150, LineSize: 64, Base: 2 << 30},
+		cachesim.Stream{LineSize: 64, Base: 3 << 30},
+	}
+	workloads := cachesim.GenerateWorkloads(gens, 20000, cachesim.DefaultModel, r)
+	n := len(gens)
+	sockets := n / 2
+
+	// Build the pairwise co-run matrix (the O(n²) measurement cost).
+	pc := make(PairCost, n)
+	for i := range pc {
+		pc[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pair := []cachesim.Workload{workloads[i], workloads[j]}
+			res, err := cachesim.SharedCoRun(cfg, 1, pair, []int{0, 0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pc[i][j], pc[j][i] = res.Total, res.Total
+		}
+	}
+	opt, err := OptimalPairs(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// AA pipeline: solo profiles, joint solve, DP refinement, co-run.
+	in, profiles, err := cachesim.BuildInstance(cfg, sockets, workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.Assign2(in)
+	ways := cachesim.OptimizeWays(cfg, sockets, workloads, profiles, a)
+	aaRes, err := cachesim.CoRunWays(cfg, sockets, workloads, a, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if aaRes.Total < opt.Value*0.95 {
+		t.Errorf("AA partitioning (%v) materially below optimal co-scheduling (%v)",
+			aaRes.Total, opt.Value)
+	}
+}

@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"aa/internal/core"
+	"aa/internal/gen"
+	"aa/internal/rng"
+	"aa/internal/tableio"
+)
+
+// RuntimeTable measures Algorithm 2's end-to-end wall time (super-optimal
+// allocation + linearization + assignment) across a grid of thread
+// counts and capacities, averaged over reps runs — the empirical
+// counterpart of the paper's O(n (log mC)²) bound and its in-text
+// "0.02 s at n=100, m=8, C=1000" remark (ext-runtime in DESIGN.md).
+func RuntimeTable(seed uint64, reps int) (*tableio.Table, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("experiment: %d reps", reps)
+	}
+	ns := []int{100, 400, 1600, 6400}
+	cs := []float64{1000, 1e6}
+	t := tableio.New(
+		fmt.Sprintf("ext-runtime: Algorithm 2 wall time, m=8, mean of %d runs", reps),
+		"n", "C", "time", "us/thread")
+	base := rng.New(seed)
+	for _, c := range cs {
+		for _, n := range ns {
+			in, err := gen.Instance(gen.DefaultUniform, 8, c, n, base.Split(uint64(n)+uint64(c)))
+			if err != nil {
+				return nil, err
+			}
+			// Warm once, then time.
+			core.Assign2(in)
+			start := time.Now()
+			for rep := 0; rep < reps; rep++ {
+				core.Assign2(in)
+			}
+			mean := time.Since(start) / time.Duration(reps)
+			t.AddRow(
+				fmt.Sprintf("%d", n),
+				tableio.FormatFloat(c, 0),
+				mean.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.1f", float64(mean.Microseconds())/float64(n)),
+			)
+		}
+	}
+	return t, nil
+}

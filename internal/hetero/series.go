@@ -1,0 +1,95 @@
+package hetero
+
+import (
+	"fmt"
+
+	"aa/internal/rng"
+	"aa/internal/stats"
+	"aa/internal/tableio"
+	"aa/internal/utility"
+)
+
+// SkewSeries evaluates the heterogeneous extension across a capacity-skew
+// sweep: m = 4 servers share a fixed total capacity, with skew s meaning
+// one server holds fraction s of the total and the rest split evenly.
+// At each skew it runs `trials` random instances and reports the
+// generalized Algorithm 2's utility against the super-optimal bound and
+// against the round-robin and proportional baselines (mean per-trial
+// ratios). This is the ext-hetero experiment of DESIGN.md.
+func SkewSeries(trials int, seed uint64) (*tableio.Table, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("hetero: %d trials", trials)
+	}
+	const (
+		m        = 4
+		totalCap = 400.0
+		n        = 20
+	)
+	skews := []float64{0.25, 0.4, 0.55, 0.7, 0.85}
+	t := tableio.New(
+		fmt.Sprintf("ext-hetero: capacity skew sweep (m=%d, ΣC=%g, n=%d, %d trials)",
+			m, totalCap, n, trials),
+		"skew", "bigC", "A/SO", "A/RR", "A/PROP")
+	base := rng.New(seed)
+	for si, skew := range skews {
+		big := totalCap * skew
+		small := (totalCap - big) / float64(m-1)
+		caps := []float64{big, small, small, small}
+		vsSO := make([]float64, trials)
+		vsRR := make([]float64, trials)
+		vsProp := make([]float64, trials)
+		pr := base.Split(uint64(si))
+		for trial := 0; trial < trials; trial++ {
+			r := pr.Split(uint64(trial))
+			in := randomSkewInstance(r, n, caps)
+			u := Assign(in).Utility(in)
+			so := SuperOptimal(in).Total
+			rr := AssignRoundRobin(in).Utility(in)
+			prop := AssignProportional(in).Utility(in)
+			vsSO[trial] = ratio(u, so)
+			vsRR[trial] = ratio(u, rr)
+			vsProp[trial] = ratio(u, prop)
+		}
+		t.AddRow(
+			tableio.FormatFloat(skew, 2),
+			tableio.FormatFloat(big, 0),
+			fmt.Sprintf("%.4f", stats.Mean(vsSO)),
+			fmt.Sprintf("%.4f", stats.Mean(vsRR)),
+			fmt.Sprintf("%.4f", stats.Mean(vsProp)),
+		)
+	}
+	return t, nil
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		if num == 0 {
+			return 1
+		}
+		return 0
+	}
+	return num / den
+}
+
+// randomSkewInstance draws mixed strictly-increasing utilities over the
+// largest capacity.
+func randomSkewInstance(r *rng.Rand, n int, caps []float64) *Instance {
+	maxCap := 0.0
+	for _, c := range caps {
+		if c > maxCap {
+			maxCap = c
+		}
+	}
+	threads := make([]utility.Func, n)
+	for i := range threads {
+		switch r.Intn(3) {
+		case 0:
+			threads[i] = utility.Log{Scale: r.Uniform(0.5, 5), Shift: r.Uniform(1, maxCap/3), C: maxCap}
+		case 1:
+			threads[i] = utility.Power{Scale: r.Uniform(0.5, 2), Beta: r.Uniform(0.3, 0.9), C: maxCap}
+		default:
+			threads[i] = utility.SatExp{Scale: r.Uniform(0.5, 4), K: r.Uniform(maxCap/30, maxCap/3), C: maxCap}
+		}
+	}
+	return &Instance{Caps: append([]float64(nil), caps...), Threads: threads}
+}

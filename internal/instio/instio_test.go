@@ -1,0 +1,136 @@
+package instio
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"aa/internal/core"
+	"aa/internal/gen"
+	"aa/internal/rng"
+	"aa/internal/utility"
+)
+
+func roundTrip(t *testing.T, in *core.Instance) *core.Instance {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+func TestRoundTripClosedForms(t *testing.T) {
+	in := &core.Instance{
+		M: 3,
+		C: 200,
+		Threads: []utility.Func{
+			utility.Linear{Slope: 2, C: 200},
+			utility.CappedLinear{Slope: 1.5, Knee: 80, C: 200},
+			utility.Power{Scale: 3, Beta: 0.7, C: 200},
+			utility.Log{Scale: 4, Shift: 25, C: 200},
+			utility.SatExp{Scale: 5, K: 60, C: 200},
+			utility.Saturating{Scale: 6, K: 90, C: 200},
+		},
+	}
+	out := roundTrip(t, in)
+	if out.M != in.M || out.C != in.C || out.N() != in.N() {
+		t.Fatalf("shape changed: m=%d c=%v n=%d", out.M, out.C, out.N())
+	}
+	for i := range in.Threads {
+		for x := 0.0; x <= 200; x += 7 {
+			a, b := in.Threads[i].Value(x), out.Threads[i].Value(x)
+			if math.Abs(a-b) > 1e-12*(1+a) {
+				t.Errorf("thread %d differs at x=%v: %v vs %v", i, x, a, b)
+			}
+		}
+	}
+}
+
+func TestRoundTripGeneratedSampledCurves(t *testing.T) {
+	r := rng.New(8)
+	in, err := gen.Instance(gen.DefaultUniform, 2, 1000, 6, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := roundTrip(t, in)
+	for i := range in.Threads {
+		for x := 0.0; x <= 1000; x += 125 { // grid points are exact
+			a, b := in.Threads[i].Value(x), out.Threads[i].Value(x)
+			if math.Abs(a-b) > 1e-6*(1+a) {
+				t.Errorf("thread %d differs at x=%v: %v vs %v", i, x, a, b)
+			}
+		}
+	}
+	// Solving the round-tripped instance gives nearly the same utility.
+	u1 := core.Assign2(in).Utility(in)
+	u2 := core.Assign2(out).Utility(out)
+	if math.Abs(u1-u2) > 0.01*(1+u1) {
+		t.Errorf("solution utility drifted: %v vs %v", u1, u2)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"m":0,"c":100,"threads":[{"kind":"linear","slope":1}]}`,
+		`{"m":2,"c":100,"threads":[]}`,
+		`{"m":2,"c":100,"threads":[{"kind":"warp"}]}`,
+		`{"m":2,"c":100,"threads":[{"kind":"piecewise","xs":[1,2],"ys":[0,1]}]}`,
+	}
+	for _, src := range cases {
+		if _, err := Decode(strings.NewReader(src)); err == nil {
+			t.Errorf("decoded invalid input %q", src)
+		}
+	}
+}
+
+func TestEncodeAssignment(t *testing.T) {
+	in := &core.Instance{
+		M: 2,
+		C: 10,
+		Threads: []utility.Func{
+			utility.Linear{Slope: 1, C: 10},
+			utility.Linear{Slope: 2, C: 10},
+		},
+	}
+	a := core.Assign2(in)
+	var buf bytes.Buffer
+	if err := EncodeAssignment(&buf, in, a); err != nil {
+		t.Fatal(err)
+	}
+	var decoded AssignmentJSON
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Server) != 2 || len(decoded.Alloc) != 2 {
+		t.Errorf("decoded %+v", decoded)
+	}
+	if decoded.Utility <= 0 || decoded.Bound < decoded.Utility-1e-9 {
+		t.Errorf("utility %v, bound %v", decoded.Utility, decoded.Bound)
+	}
+}
+
+func TestEncodeRejectsUnknownType(t *testing.T) {
+	in := &core.Instance{
+		M:       1,
+		C:       10,
+		Threads: []utility.Func{weird{}},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err == nil {
+		t.Error("encoded unknown utility type")
+	}
+}
+
+type weird struct{}
+
+func (weird) Value(float64) float64 { return 0 }
+func (weird) Deriv(float64) float64 { return 0 }
+func (weird) Cap() float64          { return 10 }

@@ -1,0 +1,303 @@
+// Package interp provides shape-preserving interpolation of sampled curves.
+//
+// The centerpiece is PCHIP — Piecewise Cubic Hermite Interpolating
+// Polynomial with Fritsch–Carlson slope limiting — which is the same
+// algorithm behind Matlab's pchip function used by the paper's workload
+// generator (IPDPS'16, §VII). PCHIP preserves monotonicity of the data: if
+// the sample values are nondecreasing, the interpolant is nondecreasing
+// everywhere, which is exactly the property utility functions require.
+//
+// A simpler piecewise-linear interpolant is also provided; it additionally
+// preserves concavity exactly (a chord interpolant of concave data is
+// concave), which some callers prefer over PCHIP's smoothness.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Curve is a one-dimensional interpolant over a finite domain.
+type Curve interface {
+	// At evaluates the curve at x. Arguments outside [Min, Max] are
+	// clamped to the domain boundary.
+	At(x float64) float64
+	// DerivAt evaluates the first derivative at x (one-sided at the
+	// domain boundaries, and from the right at interior knots).
+	DerivAt(x float64) float64
+	// Min returns the left end of the domain.
+	Min() float64
+	// Max returns the right end of the domain.
+	Max() float64
+}
+
+// Common validation errors.
+var (
+	ErrTooFewPoints   = errors.New("interp: need at least two sample points")
+	ErrLengthMismatch = errors.New("interp: xs and ys have different lengths")
+	ErrNotIncreasing  = errors.New("interp: xs must be strictly increasing")
+	ErrNonFinite      = errors.New("interp: sample contains NaN or Inf")
+)
+
+func validate(xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return ErrLengthMismatch
+	}
+	if len(xs) < 2 {
+		return ErrTooFewPoints
+	}
+	for i := range xs {
+		if !isFinite(xs[i]) || !isFinite(ys[i]) {
+			return ErrNonFinite
+		}
+		if i > 0 && xs[i] <= xs[i-1] {
+			return fmt.Errorf("%w: xs[%d]=%v <= xs[%d]=%v",
+				ErrNotIncreasing, i, xs[i], i-1, xs[i-1])
+		}
+	}
+	return nil
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// locate returns the index i of the knot interval [xs[i], xs[i+1]]
+// containing x, clamping to the first or last interval.
+func locate(xs []float64, x float64) int {
+	n := len(xs)
+	if x <= xs[0] {
+		return 0
+	}
+	if x >= xs[n-1] {
+		return n - 2
+	}
+	// sort.SearchFloat64s returns the smallest i with xs[i] >= x.
+	i := sort.SearchFloat64s(xs, x)
+	if xs[i] == x {
+		return min(i, n-2)
+	}
+	return i - 1
+}
+
+// Linear is a piecewise-linear interpolant. It preserves both monotonicity
+// and concavity/convexity of the data exactly.
+type Linear struct {
+	xs, ys []float64
+}
+
+// NewLinear builds a piecewise-linear interpolant through (xs[i], ys[i]).
+// xs must be strictly increasing. The slices are copied.
+func NewLinear(xs, ys []float64) (*Linear, error) {
+	if err := validate(xs, ys); err != nil {
+		return nil, err
+	}
+	l := &Linear{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+	}
+	return l, nil
+}
+
+// At evaluates the interpolant, clamping x to the domain.
+func (l *Linear) At(x float64) float64 {
+	if x <= l.xs[0] {
+		return l.ys[0]
+	}
+	n := len(l.xs)
+	if x >= l.xs[n-1] {
+		return l.ys[n-1]
+	}
+	i := locate(l.xs, x)
+	t := (x - l.xs[i]) / (l.xs[i+1] - l.xs[i])
+	return l.ys[i] + t*(l.ys[i+1]-l.ys[i])
+}
+
+// DerivAt returns the slope of the segment containing x.
+func (l *Linear) DerivAt(x float64) float64 {
+	i := locate(l.xs, x)
+	return (l.ys[i+1] - l.ys[i]) / (l.xs[i+1] - l.xs[i])
+}
+
+// Min returns the left end of the domain.
+func (l *Linear) Min() float64 { return l.xs[0] }
+
+// Max returns the right end of the domain.
+func (l *Linear) Max() float64 { return l.xs[len(l.xs)-1] }
+
+// Knots returns copies of the sample points.
+func (l *Linear) Knots() (xs, ys []float64) {
+	return append([]float64(nil), l.xs...), append([]float64(nil), l.ys...)
+}
+
+// PCHIP is a piecewise cubic Hermite interpolant with Fritsch–Carlson
+// monotone slope limiting — the algorithm behind Matlab's pchip.
+//
+// Within each interval [x_i, x_{i+1}] the curve is the cubic Hermite
+// polynomial matching the data values and the limited derivative estimates
+// d_i, d_{i+1}. The Fritsch–Carlson limiter guarantees the interpolant is
+// monotone on every interval where the data is monotone, and has no
+// overshoot at local extrema.
+type PCHIP struct {
+	xs, ys []float64
+	d      []float64 // limited derivative at each knot
+}
+
+// NewPCHIP builds a monotone piecewise-cubic interpolant through
+// (xs[i], ys[i]). xs must be strictly increasing. The slices are copied.
+func NewPCHIP(xs, ys []float64) (*PCHIP, error) {
+	if err := validate(xs, ys); err != nil {
+		return nil, err
+	}
+	p := &PCHIP{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+	}
+	p.d = pchipSlopes(p.xs, p.ys)
+	return p, nil
+}
+
+// pchipSlopes computes the Fritsch–Carlson limited derivatives.
+func pchipSlopes(xs, ys []float64) []float64 {
+	n := len(xs)
+	d := make([]float64, n)
+	if n == 2 {
+		s := (ys[1] - ys[0]) / (xs[1] - xs[0])
+		d[0], d[1] = s, s
+		return d
+	}
+	h := make([]float64, n-1)   // interval widths
+	del := make([]float64, n-1) // secant slopes
+	for i := 0; i < n-1; i++ {
+		h[i] = xs[i+1] - xs[i]
+		del[i] = (ys[i+1] - ys[i]) / h[i]
+	}
+	// Interior knots: weighted harmonic mean of adjacent secants when they
+	// have the same sign, zero otherwise (Fritsch–Carlson / Matlab pchip).
+	for i := 1; i < n-1; i++ {
+		if del[i-1]*del[i] <= 0 {
+			d[i] = 0
+			continue
+		}
+		w1 := 2*h[i] + h[i-1]
+		w2 := h[i] + 2*h[i-1]
+		d[i] = (w1 + w2) / (w1/del[i-1] + w2/del[i])
+	}
+	d[0] = edgeSlope(h[0], h[1], del[0], del[1])
+	d[n-1] = edgeSlope(h[n-2], h[n-3], del[n-2], del[n-3])
+	return d
+}
+
+// edgeSlope is the non-centered three-point endpoint formula with the
+// shape-preserving clamps used by Matlab's pchip.
+func edgeSlope(h0, h1, del0, del1 float64) float64 {
+	d := ((2*h0+h1)*del0 - h0*del1) / (h0 + h1)
+	if sign(d) != sign(del0) {
+		return 0
+	}
+	if sign(del0) != sign(del1) && abs(d) > 3*abs(del0) {
+		return 3 * del0
+	}
+	return d
+}
+
+func sign(v float64) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// At evaluates the interpolant, clamping x to the domain.
+func (p *PCHIP) At(x float64) float64 {
+	n := len(p.xs)
+	if x <= p.xs[0] {
+		return p.ys[0]
+	}
+	if x >= p.xs[n-1] {
+		return p.ys[n-1]
+	}
+	i := locate(p.xs, x)
+	h := p.xs[i+1] - p.xs[i]
+	t := (x - p.xs[i]) / h
+	// Cubic Hermite basis.
+	t2 := t * t
+	t3 := t2 * t
+	h00 := 2*t3 - 3*t2 + 1
+	h10 := t3 - 2*t2 + t
+	h01 := -2*t3 + 3*t2
+	h11 := t3 - t2
+	return h00*p.ys[i] + h10*h*p.d[i] + h01*p.ys[i+1] + h11*h*p.d[i+1]
+}
+
+// DerivAt evaluates the derivative of the interpolant at x (clamped to the
+// domain; zero outside, matching the flat extension used by At).
+func (p *PCHIP) DerivAt(x float64) float64 {
+	n := len(p.xs)
+	if x < p.xs[0] || x > p.xs[n-1] {
+		return 0
+	}
+	i := locate(p.xs, x)
+	h := p.xs[i+1] - p.xs[i]
+	t := (x - p.xs[i]) / h
+	t2 := t * t
+	dh00 := (6*t2 - 6*t) / h
+	dh10 := 3*t2 - 4*t + 1
+	dh01 := (-6*t2 + 6*t) / h
+	dh11 := 3*t2 - 2*t
+	return dh00*p.ys[i] + dh10*p.d[i] + dh01*p.ys[i+1] + dh11*p.d[i+1]
+}
+
+// Min returns the left end of the domain.
+func (p *PCHIP) Min() float64 { return p.xs[0] }
+
+// Max returns the right end of the domain.
+func (p *PCHIP) Max() float64 { return p.xs[len(p.xs)-1] }
+
+// Knots returns copies of the sample points.
+func (p *PCHIP) Knots() (xs, ys []float64) {
+	return append([]float64(nil), p.xs...), append([]float64(nil), p.ys...)
+}
+
+// Slopes returns a copy of the limited knot derivatives.
+func (p *PCHIP) Slopes() []float64 { return append([]float64(nil), p.d...) }
+
+// IsMonotoneNondecreasing reports whether the sampled data is nondecreasing.
+func IsMonotoneNondecreasing(ys []float64) bool {
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConcaveData reports whether the sampled points (xs, ys) lie on a concave
+// sequence, i.e. the secant slopes are nonincreasing up to tol.
+func IsConcaveData(xs, ys []float64, tol float64) bool {
+	if len(xs) != len(ys) || len(xs) < 3 {
+		return true
+	}
+	prev := (ys[1] - ys[0]) / (xs[1] - xs[0])
+	for i := 1; i < len(xs)-1; i++ {
+		s := (ys[i+1] - ys[i]) / (xs[i+1] - xs[i])
+		if s > prev+tol {
+			return false
+		}
+		prev = s
+	}
+	return true
+}

@@ -1,0 +1,266 @@
+// Package mckp implements the Multiple-Choice Knapsack Problem, the
+// closest classical relative of AA the paper discusses in §II: "The
+// MCKP problem can model utility functions as it considers classes of
+// items with different weights and values and chooses one item from
+// each class ... However, MCKP only considers a single knapsack, and
+// thus corresponds to a restricted form of AA with one server."
+//
+// Given n classes, each offering items (weight, value), choose exactly
+// one item per class with total weight ≤ capacity, maximizing total
+// value. Discretizing a thread's utility function into (allocation,
+// utility) pairs turns single-server AA into MCKP exactly — the tests
+// verify our concave allocators against this independent formulation.
+//
+// Two solvers are provided: an exact O(n·C·k) dynamic program and the
+// classical LP-greedy (dominance filtering + incremental efficiency
+// ordering, cf. Kellerer and Gens–Levner in the paper's related work)
+// which is near-optimal for concave classes because their incremental
+// items are already efficiency-sorted.
+package mckp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"aa/internal/utility"
+)
+
+// Item is one choice within a class.
+type Item struct {
+	Weight int
+	Value  float64
+}
+
+// Problem is an MCKP instance. Every class must contain a zero-weight
+// item (threads may receive nothing) or the instance may be infeasible;
+// FromUtilities always includes one.
+type Problem struct {
+	Capacity int
+	Classes  [][]Item
+}
+
+// Validate checks the instance is well formed.
+func (p *Problem) Validate() error {
+	if p.Capacity < 0 {
+		return fmt.Errorf("mckp: negative capacity %d", p.Capacity)
+	}
+	if len(p.Classes) == 0 {
+		return errors.New("mckp: no classes")
+	}
+	for ci, class := range p.Classes {
+		if len(class) == 0 {
+			return fmt.Errorf("mckp: class %d is empty", ci)
+		}
+		for _, it := range class {
+			if it.Weight < 0 {
+				return fmt.Errorf("mckp: class %d has negative weight %d", ci, it.Weight)
+			}
+			if math.IsNaN(it.Value) || math.IsInf(it.Value, 0) {
+				return fmt.Errorf("mckp: class %d has non-finite value", ci)
+			}
+		}
+	}
+	return nil
+}
+
+// Solution is a choice of one item index per class.
+type Solution struct {
+	Pick   []int // Pick[c] indexes Classes[c]
+	Value  float64
+	Weight int
+}
+
+// FromUtilities discretizes single-server AA into MCKP: class i holds
+// items (w, f_i(w·unit)) for w = 0..cap_i in steps of one unit.
+func FromUtilities(fs []utility.Func, capacity int, unit float64) *Problem {
+	p := &Problem{Capacity: capacity}
+	for _, f := range fs {
+		maxW := int(f.Cap() / unit)
+		if maxW > capacity {
+			maxW = capacity
+		}
+		class := make([]Item, 0, maxW+1)
+		for w := 0; w <= maxW; w++ {
+			class = append(class, Item{Weight: w, Value: f.Value(float64(w) * unit)})
+		}
+		p.Classes = append(p.Classes, class)
+	}
+	return p
+}
+
+// SolveDP solves the instance exactly by dynamic programming over
+// capacity: dp[c] is the best value of the processed classes using
+// weight exactly ≤ c. O(classes · capacity · items-per-class).
+func (p *Problem) SolveDP() (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	const negInf = math.SmallestNonzeroFloat64 - math.MaxFloat64
+	cap := p.Capacity
+	dp := make([]float64, cap+1)
+	next := make([]float64, cap+1)
+	// picks[c][b] = item chosen for class c in the optimum with budget b.
+	picks := make([][]int16, len(p.Classes))
+	for b := range dp {
+		dp[b] = 0 // zero classes, any budget: value 0
+	}
+	for ci, class := range p.Classes {
+		picks[ci] = make([]int16, cap+1)
+		for b := 0; b <= cap; b++ {
+			best, bestItem := negInf, -1
+			for ii, it := range class {
+				if it.Weight > b {
+					continue
+				}
+				if v := dp[b-it.Weight] + it.Value; v > best {
+					best, bestItem = v, ii
+				}
+			}
+			if bestItem < 0 {
+				return Solution{}, fmt.Errorf("mckp: class %d infeasible at budget %d (no zero-weight item?)", ci, b)
+			}
+			next[b] = best
+			picks[ci][b] = int16(bestItem)
+		}
+		dp, next = next, dp
+	}
+	sol := Solution{Pick: make([]int, len(p.Classes)), Value: dp[cap]}
+	b := cap
+	for ci := len(p.Classes) - 1; ci >= 0; ci-- {
+		ii := int(picks[ci][b])
+		sol.Pick[ci] = ii
+		sol.Weight += p.Classes[ci][ii].Weight
+		b -= p.Classes[ci][ii].Weight
+	}
+	return sol, nil
+}
+
+// incItem is an incremental (delta-weight, delta-value) step used by the
+// LP greedy.
+type incItem struct {
+	class      int
+	item       int // index of the item this step upgrades to
+	dw         int
+	dv         float64
+	efficiency float64
+}
+
+// SolveGreedy is the classical LP-relaxation greedy: per class, filter
+// to the efficient frontier (dominance + LP-dominance), decompose each
+// class into incremental upgrade steps, sort all steps by efficiency
+// (Δvalue/Δweight) and apply them while capacity remains. For classes
+// derived from concave utilities the steps are exactly the marginal
+// gains, so the greedy is optimal up to the last fractional step —
+// matching the Fox/Galil allocators from another direction.
+func (p *Problem) SolveGreedy() (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := len(p.Classes)
+	sol := Solution{Pick: make([]int, n)}
+	perClass := make([][]incItem, n)
+	for ci, class := range p.Classes {
+		frontier := lpFrontier(class)
+		if len(frontier) == 0 {
+			return Solution{}, fmt.Errorf("mckp: class %d has no feasible items", ci)
+		}
+		// Start every class at its lightest frontier item.
+		sol.Pick[ci] = frontier[0]
+		sol.Weight += class[frontier[0]].Weight
+		sol.Value += class[frontier[0]].Value
+		for k := 1; k < len(frontier); k++ {
+			prev, cur := class[frontier[k-1]], class[frontier[k]]
+			dw := cur.Weight - prev.Weight
+			dv := cur.Value - prev.Value
+			if dw <= 0 || dv <= 0 {
+				continue
+			}
+			perClass[ci] = append(perClass[ci], incItem{
+				class: ci, item: frontier[k], dw: dw, dv: dv,
+				efficiency: dv / float64(dw),
+			})
+		}
+	}
+	if sol.Weight > p.Capacity {
+		return Solution{}, errors.New("mckp: lightest choices already exceed capacity")
+	}
+	// Incremental greedy: each class exposes only its next upgrade step
+	// (the frontier guarantees those steps have nonincreasing efficiency
+	// within a class); repeatedly apply the fitting step of greatest
+	// efficiency until nothing fits.
+	ptr := make([]int, n)
+	for {
+		best := -1
+		var bestStep incItem
+		for ci := 0; ci < n; ci++ {
+			if ptr[ci] >= len(perClass[ci]) {
+				continue
+			}
+			st := perClass[ci][ptr[ci]]
+			if sol.Weight+st.dw > p.Capacity {
+				continue
+			}
+			if best < 0 || st.efficiency > bestStep.efficiency {
+				best, bestStep = ci, st
+			}
+		}
+		if best < 0 {
+			break
+		}
+		ptr[best]++
+		sol.Pick[best] = bestStep.item
+		sol.Weight += bestStep.dw
+		sol.Value += bestStep.dv
+	}
+	return sol, nil
+}
+
+// lpFrontier returns indices of the LP-efficient items of a class in
+// increasing weight order: dominated items (heavier and no more
+// valuable) and LP-dominated items (below the upper convex hull in
+// weight–value space) are removed.
+func lpFrontier(class []Item) []int {
+	idx := make([]int, len(class))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := class[idx[a]], class[idx[b]]
+		if ia.Weight != ib.Weight {
+			return ia.Weight < ib.Weight
+		}
+		return ia.Value > ib.Value
+	})
+	// Remove dominated items (keep strictly increasing value).
+	var kept []int
+	bestValue := math.Inf(-1)
+	for _, i := range idx {
+		if class[i].Value > bestValue {
+			kept = append(kept, i)
+			bestValue = class[i].Value
+		}
+	}
+	// Upper convex hull in (weight, value): LP-dominance filtering.
+	var hull []int
+	for _, i := range kept {
+		for len(hull) >= 2 {
+			a, b := class[hull[len(hull)-2]], class[hull[len(hull)-1]]
+			c := class[i]
+			// Remove b only if it is strictly under the chord a–c;
+			// collinear points stay so that concave classes keep their
+			// fine-grained unit steps (coarse steps would strand
+			// residual capacity in the integral greedy).
+			lhs := (b.Value - a.Value) * float64(c.Weight-a.Weight)
+			rhs := (c.Value - a.Value) * float64(b.Weight-a.Weight)
+			if lhs < rhs-1e-12*(1+math.Abs(rhs)) {
+				hull = hull[:len(hull)-1]
+			} else {
+				break
+			}
+		}
+		hull = append(hull, i)
+	}
+	return hull
+}

@@ -1,0 +1,213 @@
+package mckp
+
+import (
+	"math"
+	"testing"
+
+	"aa/internal/alloc"
+	"aa/internal/rng"
+	"aa/internal/utility"
+)
+
+func TestValidate(t *testing.T) {
+	ok := &Problem{Capacity: 5, Classes: [][]Item{{{0, 0}, {2, 3}}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Problem{
+		{Capacity: -1, Classes: [][]Item{{{0, 0}}}},
+		{Capacity: 5},
+		{Capacity: 5, Classes: [][]Item{{}}},
+		{Capacity: 5, Classes: [][]Item{{{-1, 0}}}},
+		{Capacity: 5, Classes: [][]Item{{{0, math.NaN()}}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSolveDPHandExample(t *testing.T) {
+	// Two classes, capacity 5:
+	// class 0: (0,0), (2,3), (4,4)
+	// class 1: (0,0), (3,5)
+	// Best: class0→(2,3) + class1→(3,5) = 8 at weight 5.
+	p := &Problem{
+		Capacity: 5,
+		Classes: [][]Item{
+			{{0, 0}, {2, 3}, {4, 4}},
+			{{0, 0}, {3, 5}},
+		},
+	}
+	sol, err := p.SolveDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value != 8 {
+		t.Errorf("value %v, want 8", sol.Value)
+	}
+	if sol.Weight != 5 {
+		t.Errorf("weight %d, want 5", sol.Weight)
+	}
+	if p.Classes[0][sol.Pick[0]].Weight != 2 || p.Classes[1][sol.Pick[1]].Weight != 3 {
+		t.Errorf("picks %v", sol.Pick)
+	}
+}
+
+func TestSolveDPInfeasibleWithoutZeroItem(t *testing.T) {
+	p := &Problem{
+		Capacity: 1,
+		Classes:  [][]Item{{{5, 10}}},
+	}
+	if _, err := p.SolveDP(); err == nil {
+		t.Error("infeasible instance solved")
+	}
+}
+
+func TestGreedyFeasibleAndNearDP(t *testing.T) {
+	base := rng.New(81)
+	for trial := 0; trial < 20; trial++ {
+		r := base.Split(uint64(trial))
+		nClasses := 2 + r.Intn(6)
+		capacity := 20 + r.Intn(60)
+		p := &Problem{Capacity: capacity}
+		for c := 0; c < nClasses; c++ {
+			class := []Item{{0, 0}}
+			items := 1 + r.Intn(8)
+			w, v := 0, 0.0
+			for k := 0; k < items; k++ {
+				w += 1 + r.Intn(8)
+				v += r.Uniform(0, 5)
+				class = append(class, Item{Weight: w, Value: v})
+			}
+			p.Classes = append(p.Classes, class)
+		}
+		dp, err := p.SolveDP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := p.SolveGreedy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gr.Weight > p.Capacity {
+			t.Fatalf("trial %d: greedy weight %d > capacity %d", trial, gr.Weight, p.Capacity)
+		}
+		if gr.Value > dp.Value+1e-9 {
+			t.Fatalf("trial %d: greedy %v beats exact DP %v", trial, gr.Value, dp.Value)
+		}
+		// Classical guarantee on frontier greedy is 1/2; random instances
+		// do far better. Assert the conservative bound.
+		if gr.Value < 0.5*dp.Value-1e-9 {
+			t.Errorf("trial %d: greedy %v below half of optimal %v", trial, gr.Value, dp.Value)
+		}
+	}
+}
+
+// The §II connection: single-server AA with discretized concave
+// utilities IS an MCKP instance; the MCKP DP must agree with the
+// allocation DP and with the concave greedy.
+func TestMCKPAgreesWithAllocatorsOnConcaveClasses(t *testing.T) {
+	base := rng.New(82)
+	for trial := 0; trial < 10; trial++ {
+		r := base.Split(uint64(trial))
+		n := 2 + r.Intn(5)
+		fs := make([]utility.Func, n)
+		for i := range fs {
+			switch r.Intn(3) {
+			case 0:
+				fs[i] = utility.Log{Scale: r.Uniform(1, 5), Shift: r.Uniform(2, 20), C: 40}
+			case 1:
+				fs[i] = utility.SatExp{Scale: r.Uniform(1, 5), K: r.Uniform(5, 20), C: 40}
+			default:
+				fs[i] = utility.CappedLinear{Slope: r.Uniform(0.1, 2), Knee: r.Uniform(5, 35), C: 40}
+			}
+		}
+		capacity := 15 + r.Intn(60)
+		p := FromUtilities(fs, capacity, 1)
+		mckpSol, err := p.SolveDP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocSol := alloc.DPExact(fs, float64(capacity), 1)
+		if math.Abs(mckpSol.Value-allocSol.Total) > 1e-9*(1+allocSol.Total) {
+			t.Errorf("trial %d: MCKP DP %v != allocation DP %v", trial, mckpSol.Value, allocSol.Total)
+		}
+		greedy := alloc.Greedy(fs, float64(capacity), 1)
+		if math.Abs(mckpSol.Value-greedy.Total) > 1e-9*(1+greedy.Total) {
+			t.Errorf("trial %d: MCKP DP %v != Fox greedy %v (concave ⇒ greedy exact)",
+				trial, mckpSol.Value, greedy.Total)
+		}
+		// The MCKP LP-greedy should also be exact here (concave classes
+		// have fully efficient frontiers).
+		gr, err := p.SolveGreedy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gr.Value-mckpSol.Value) > 0.02*(1+mckpSol.Value) {
+			t.Errorf("trial %d: MCKP greedy %v vs exact %v", trial, gr.Value, mckpSol.Value)
+		}
+	}
+}
+
+func TestLPFrontier(t *testing.T) {
+	class := []Item{
+		{0, 0},
+		{1, 5},   // efficient
+		{2, 4},   // dominated by (1,5)
+		{3, 7},   // on hull
+		{4, 7.5}, // LP-dominated by chord (3,7)-(6,12)? slope check below
+		{6, 12},
+	}
+	frontier := lpFrontier(class)
+	// Must include 0-weight start and be increasing in weight.
+	if class[frontier[0]].Weight != 0 {
+		t.Errorf("frontier does not start at weight 0: %v", frontier)
+	}
+	prevW := -1
+	for _, i := range frontier {
+		if class[i].Weight <= prevW {
+			t.Errorf("frontier not strictly increasing in weight: %v", frontier)
+		}
+		prevW = class[i].Weight
+	}
+	// The dominated item (2,4) must be gone.
+	for _, i := range frontier {
+		if class[i].Weight == 2 && class[i].Value == 4 {
+			t.Error("dominated item survived")
+		}
+	}
+}
+
+func TestGreedyTightCapacity(t *testing.T) {
+	// Capacity forces everyone to the zero item.
+	p := &Problem{
+		Capacity: 0,
+		Classes: [][]Item{
+			{{0, 0}, {1, 10}},
+			{{0, 0}, {2, 20}},
+		},
+	}
+	sol, err := p.SolveGreedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value != 0 || sol.Weight != 0 {
+		t.Errorf("expected all-zero solution, got %+v", sol)
+	}
+}
+
+func BenchmarkMCKPDP(b *testing.B) {
+	fs := make([]utility.Func, 20)
+	for i := range fs {
+		fs[i] = utility.Log{Scale: float64(i%5 + 1), Shift: float64(i%7 + 3), C: 100}
+	}
+	p := FromUtilities(fs, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveDP(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

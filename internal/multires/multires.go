@@ -1,0 +1,329 @@
+// Package multires extends AA to multiple resource types — the paper's
+// second future-work item (§VIII): servers offer a vector of resources
+// (CPU, memory, bandwidth, ...) and each thread consumes them jointly.
+//
+// Threads have Leontief (fixed-proportion) demands: thread i consumes
+// its resources in the ratio W_i, so its allocation is fully described
+// by a scalar bundle count t_i ≥ 0 with resource usage t_i·W_i, and its
+// utility is G_i(t_i) for a concave scalar G_i. This captures VMs
+// ("1 vCPU : 4 GiB per unit") and makes the per-server problem a
+// concave maximization over a polymatroid-like feasible set:
+//
+//	max Σ G_i(t_i)   s.t.   Σ_i t_i·W_i[k] ≤ C[k]  for every resource k.
+//
+// Allocate solves it with a Fox-style greedy in bundle units (exact as
+// the unit shrinks, since the objective is concave and the feasible set
+// is down-closed); Assign layers an Algorithm-2-flavored placement on
+// top: threads ordered by standalone utility, each placed on the server
+// that currently fits it best.
+package multires
+
+import (
+	"fmt"
+	"math"
+
+	"aa/internal/utility"
+)
+
+// Thread is a Leontief consumer: utility G over bundle count, resource
+// footprint W per bundle.
+type Thread struct {
+	G utility.Func // concave utility over bundles; G.Cap() bounds t
+	W []float64    // per-bundle demand of each resource, >= 0, some > 0
+}
+
+// Instance is a multi-resource AA problem: M identical servers, each
+// with capacity vector Cap, and Leontief threads.
+type Instance struct {
+	M       int
+	Cap     []float64 // capacity per resource type
+	Threads []Thread
+}
+
+// N returns the number of threads.
+func (in *Instance) N() int { return len(in.Threads) }
+
+// D returns the number of resource types.
+func (in *Instance) D() int { return len(in.Cap) }
+
+// Validate checks the instance is well formed.
+func (in *Instance) Validate() error {
+	if in.M < 1 {
+		return fmt.Errorf("multires: %d servers", in.M)
+	}
+	if len(in.Cap) == 0 {
+		return fmt.Errorf("multires: no resource types")
+	}
+	for k, c := range in.Cap {
+		if !(c > 0) {
+			return fmt.Errorf("multires: resource %d capacity %v", k, c)
+		}
+	}
+	if len(in.Threads) == 0 {
+		return fmt.Errorf("multires: no threads")
+	}
+	for i, t := range in.Threads {
+		if t.G == nil {
+			return fmt.Errorf("multires: thread %d has nil utility", i)
+		}
+		if len(t.W) != len(in.Cap) {
+			return fmt.Errorf("multires: thread %d has %d demands, want %d", i, len(t.W), len(in.Cap))
+		}
+		positive := false
+		for k, w := range t.W {
+			if w < 0 {
+				return fmt.Errorf("multires: thread %d negative demand for resource %d", i, k)
+			}
+			if w > 0 {
+				positive = true
+			}
+		}
+		if !positive {
+			return fmt.Errorf("multires: thread %d consumes nothing", i)
+		}
+	}
+	return nil
+}
+
+// MaxBundles returns the largest bundle count thread i could run alone on
+// one server: min over resources of Cap[k]/W[k], also capped by G.Cap().
+func (in *Instance) MaxBundles(i int) float64 {
+	t := in.Threads[i]
+	limit := t.G.Cap()
+	for k, w := range t.W {
+		if w > 0 {
+			if b := in.Cap[k] / w; b < limit {
+				limit = b
+			}
+		}
+	}
+	return limit
+}
+
+// Assignment is a solution: per-thread server and bundle count.
+type Assignment struct {
+	Server  []int
+	Bundles []float64
+}
+
+// Utility returns Σ G_i(Bundles[i]).
+func (a Assignment) Utility(in *Instance) float64 {
+	total := 0.0
+	for i, t := range in.Threads {
+		total += t.G.Value(a.Bundles[i])
+	}
+	return total
+}
+
+// Validate checks per-server, per-resource feasibility.
+func (a Assignment) Validate(in *Instance, tol float64) error {
+	n := in.N()
+	if len(a.Server) != n || len(a.Bundles) != n {
+		return fmt.Errorf("multires: assignment covers %d/%d threads", len(a.Server), n)
+	}
+	loads := make([][]float64, in.M)
+	for j := range loads {
+		loads[j] = make([]float64, in.D())
+	}
+	for i := 0; i < n; i++ {
+		s := a.Server[i]
+		if s < 0 || s >= in.M {
+			return fmt.Errorf("multires: thread %d on invalid server %d", i, s)
+		}
+		if a.Bundles[i] < -tol {
+			return fmt.Errorf("multires: thread %d negative bundles", i)
+		}
+		for k, w := range in.Threads[i].W {
+			loads[s][k] += a.Bundles[i] * w
+		}
+	}
+	for j := range loads {
+		for k, load := range loads[j] {
+			if load > in.Cap[k]+tol*(1+in.Cap[k]) {
+				return fmt.Errorf("multires: server %d resource %d overloaded: %v > %v",
+					j, k, load, in.Cap[k])
+			}
+		}
+	}
+	return nil
+}
+
+// Allocate solves the single-server problem for the given thread subset
+// by a scarcity-priced greedy in steps of `unit` bundles: each step
+// grants a unit to the thread maximizing marginal utility per
+// scarcity-weighted footprint, where resource k's price is 1/residual_k.
+// With one resource type the price is a common factor, so the rule
+// reduces exactly to Fox's marginal-utility greedy (optimal for concave
+// G). With several types the dynamic prices steer grants toward threads
+// whose shape matches the leftover capacity, balancing complementary
+// consumers instead of letting one exhaust a shared bottleneck.
+// Returns per-thread bundles (indexed like threads) and the total.
+func Allocate(cap []float64, threads []Thread, unit float64) ([]float64, float64) {
+	n := len(threads)
+	bundles := make([]float64, n)
+	if n == 0 || unit <= 0 {
+		return bundles, 0
+	}
+	residual := append([]float64(nil), cap...)
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	for {
+		best := -1
+		var bestScore, bestGain float64
+		for i, t := range threads {
+			if !active[i] {
+				continue
+			}
+			if bundles[i]+unit > t.G.Cap()+1e-12 || !fits(residual, t.W, unit) {
+				active[i] = false
+				continue
+			}
+			gain := t.G.Value(bundles[i]+unit) - t.G.Value(bundles[i])
+			if gain <= 0 {
+				active[i] = false
+				continue
+			}
+			cost := 0.0
+			for k, w := range t.W {
+				if w > 0 {
+					cost += w / math.Max(residual[k], 1e-12)
+				}
+			}
+			score := gain / cost
+			if best < 0 || score > bestScore {
+				best, bestScore, bestGain = i, score, gain
+			}
+		}
+		if best < 0 || bestGain <= 0 {
+			break
+		}
+		bundles[best] += unit
+		for k, w := range threads[best].W {
+			residual[k] -= w * unit
+		}
+	}
+	total := 0.0
+	for i, t := range threads {
+		total += t.G.Value(bundles[i])
+	}
+	return bundles, total
+}
+
+func fits(residual, w []float64, unit float64) bool {
+	for k, r := range residual {
+		if w[k]*unit > r+1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Assign places threads on servers by marginal-gain greedy: threads are
+// ordered by standalone utility (what each would earn alone on a fresh
+// server) descending, and each thread goes to the server where adding it
+// increases that server's optimally-allocated total the most — the
+// multi-resource analogue of "assign where you obtain the greatest
+// utility" in the paper's Algorithm 1. Complementary threads (CPU-heavy
+// with memory-heavy) naturally end up together because a thread adds the
+// most on the server whose leftover resources match its shape.
+//
+// Placement deltas are evaluated at granularity 4·unit for speed; the
+// final per-server allocations are re-solved at `unit`.
+func Assign(in *Instance, unit float64) Assignment {
+	n := in.N()
+	type cand struct {
+		idx        int
+		standalone float64
+	}
+	cands := make([]cand, n)
+	for i := range cands {
+		cands[i] = cand{idx: i, standalone: in.Threads[i].G.Value(in.MaxBundles(i))}
+	}
+	// Insertion sort by standalone utility desc (n is moderate).
+	for a := 1; a < n; a++ {
+		for b := a; b > 0 && cands[b].standalone > cands[b-1].standalone; b-- {
+			cands[b], cands[b-1] = cands[b-1], cands[b]
+		}
+	}
+
+	coarse := 4 * unit
+	groups := make([][]int, in.M)
+	groupTotal := make([]float64, in.M)
+	server := make([]int, n)
+	scratch := make([]Thread, 0, n)
+	for _, c := range cands {
+		bestJ, bestDelta := 0, math.Inf(-1)
+		for j := 0; j < in.M; j++ {
+			scratch = scratch[:0]
+			for _, i := range groups[j] {
+				scratch = append(scratch, in.Threads[i])
+			}
+			scratch = append(scratch, in.Threads[c.idx])
+			_, total := Allocate(in.Cap, scratch, coarse)
+			if delta := total - groupTotal[j]; delta > bestDelta {
+				bestJ, bestDelta = j, delta
+			}
+		}
+		server[c.idx] = bestJ
+		groups[bestJ] = append(groups[bestJ], c.idx)
+		groupTotal[bestJ] += bestDelta
+	}
+
+	// Final allocations: exact greedy per server group at fine unit.
+	out := Assignment{Server: server, Bundles: make([]float64, n)}
+	for _, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		ts := make([]Thread, len(group))
+		for k, i := range group {
+			ts[k] = in.Threads[i]
+		}
+		bundles, _ := Allocate(in.Cap, ts, unit)
+		for k, i := range group {
+			out.Bundles[i] = bundles[k]
+		}
+	}
+	return out
+}
+
+// AssignRoundRobin is the naive baseline: round-robin placement and an
+// equal split of each server's bottleneck resource.
+func AssignRoundRobin(in *Instance, unit float64) Assignment {
+	n := in.N()
+	out := Assignment{Server: make([]int, n), Bundles: make([]float64, n)}
+	groups := make([][]int, in.M)
+	for i := 0; i < n; i++ {
+		out.Server[i] = i % in.M
+		groups[i%in.M] = append(groups[i%in.M], i)
+	}
+	for _, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		// Equal share: each thread may use Cap/k of every resource.
+		share := make([]float64, in.D())
+		for k, c := range in.Cap {
+			share[k] = c / float64(len(group))
+		}
+		for _, i := range group {
+			t := in.Threads[i]
+			b := t.G.Cap()
+			for k, w := range t.W {
+				if w > 0 {
+					if lim := share[k] / w; lim < b {
+						b = lim
+					}
+				}
+			}
+			// Snap to the greedy unit for comparability.
+			if unit > 0 {
+				b = math.Floor(b/unit) * unit
+			}
+			out.Bundles[i] = b
+		}
+	}
+	return out
+}

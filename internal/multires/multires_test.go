@@ -1,0 +1,210 @@
+package multires
+
+import (
+	"math"
+	"testing"
+
+	"aa/internal/alloc"
+	"aa/internal/rng"
+	"aa/internal/utility"
+)
+
+func randomInstance(r *rng.Rand, n, m, d int) *Instance {
+	caps := make([]float64, d)
+	for k := range caps {
+		caps[k] = r.Uniform(50, 150)
+	}
+	in := &Instance{M: m, Cap: caps}
+	for i := 0; i < n; i++ {
+		w := make([]float64, d)
+		for k := range w {
+			w[k] = r.Uniform(0.1, 2)
+		}
+		var g utility.Func
+		switch r.Intn(3) {
+		case 0:
+			g = utility.Log{Scale: r.Uniform(0.5, 4), Shift: r.Uniform(1, 20), C: 1000}
+		case 1:
+			g = utility.Power{Scale: r.Uniform(0.5, 2), Beta: r.Uniform(0.3, 0.9), C: 1000}
+		default:
+			g = utility.SatExp{Scale: r.Uniform(0.5, 4), K: r.Uniform(5, 40), C: 1000}
+		}
+		in.Threads = append(in.Threads, Thread{G: g, W: w})
+	}
+	return in
+}
+
+func TestValidate(t *testing.T) {
+	in := randomInstance(rng.New(1), 4, 2, 3)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lin := utility.Linear{Slope: 1, C: 10}
+	bad := []*Instance{
+		{M: 0, Cap: []float64{1}, Threads: []Thread{{G: lin, W: []float64{1}}}},
+		{M: 1, Cap: nil, Threads: []Thread{{G: lin, W: []float64{1}}}},
+		{M: 1, Cap: []float64{0}, Threads: []Thread{{G: lin, W: []float64{1}}}},
+		{M: 1, Cap: []float64{1}},
+		{M: 1, Cap: []float64{1}, Threads: []Thread{{W: []float64{1}}}},
+		{M: 1, Cap: []float64{1}, Threads: []Thread{{G: lin, W: []float64{1, 2}}}},
+		{M: 1, Cap: []float64{1}, Threads: []Thread{{G: lin, W: []float64{-1}}}},
+		{M: 1, Cap: []float64{1}, Threads: []Thread{{G: lin, W: []float64{0}}}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMaxBundles(t *testing.T) {
+	in := &Instance{
+		M:   1,
+		Cap: []float64{100, 60},
+		Threads: []Thread{
+			{G: utility.Linear{Slope: 1, C: 1000}, W: []float64{2, 1}},  // CPU-bound: 50
+			{G: utility.Linear{Slope: 1, C: 1000}, W: []float64{1, 3}},  // mem-bound: 20
+			{G: utility.Linear{Slope: 1, C: 5}, W: []float64{0.1, 0.1}}, // G-capped: 5
+		},
+	}
+	want := []float64{50, 20, 5}
+	for i, w := range want {
+		if got := in.MaxBundles(i); math.Abs(got-w) > 1e-12 {
+			t.Errorf("MaxBundles(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// With one resource type, Allocate must match the scalar Fox greedy.
+func TestAllocateReducesToScalarGreedy(t *testing.T) {
+	fs := []utility.Func{
+		utility.Log{Scale: 3, Shift: 10, C: 100},
+		utility.SatExp{Scale: 4, K: 20, C: 100},
+		utility.Power{Scale: 1, Beta: 0.5, C: 100},
+	}
+	threads := make([]Thread, len(fs))
+	for i, f := range fs {
+		threads[i] = Thread{G: f, W: []float64{1}}
+	}
+	bundles, total := Allocate([]float64{90}, threads, 1)
+	want := alloc.Greedy(fs, 90, 1)
+	if math.Abs(total-want.Total) > 1e-9 {
+		t.Errorf("multi-res total %v != scalar greedy %v", total, want.Total)
+	}
+	for i := range bundles {
+		if math.Abs(bundles[i]-want.Alloc[i]) > 1e-9 {
+			t.Errorf("thread %d: %v vs %v", i, bundles[i], want.Alloc[i])
+		}
+	}
+}
+
+func TestAllocateRespectsEveryResource(t *testing.T) {
+	threads := []Thread{
+		{G: utility.Linear{Slope: 1, C: 1000}, W: []float64{1, 0.1}},
+		{G: utility.Linear{Slope: 1, C: 1000}, W: []float64{0.1, 1}},
+	}
+	cap := []float64{10, 10}
+	bundles, _ := Allocate(cap, threads, 0.5)
+	for k := range cap {
+		used := 0.0
+		for i, t := range threads {
+			used += bundles[i] * t.W[k]
+		}
+		if used > cap[k]+1e-9 {
+			t.Errorf("resource %d overused: %v > %v", k, used, cap[k])
+		}
+	}
+}
+
+func TestAllocateBottleneckOnly(t *testing.T) {
+	// Thread demands nothing of resource 1; only resource 0 limits it.
+	threads := []Thread{
+		{G: utility.Linear{Slope: 1, C: 1000}, W: []float64{1, 0}},
+	}
+	bundles, total := Allocate([]float64{20, 5}, threads, 1)
+	if bundles[0] != 20 || total != 20 {
+		t.Errorf("bundles %v, total %v, want 20", bundles[0], total)
+	}
+}
+
+func TestAllocateDegenerate(t *testing.T) {
+	if b, total := Allocate([]float64{10}, nil, 1); len(b) != 0 || total != 0 {
+		t.Error("empty threads")
+	}
+	threads := []Thread{{G: utility.Linear{Slope: 1, C: 10}, W: []float64{1}}}
+	if _, total := Allocate([]float64{10}, threads, 0); total != 0 {
+		t.Error("zero unit should allocate nothing")
+	}
+}
+
+func TestAssignFeasibleRandom(t *testing.T) {
+	base := rng.New(7)
+	for trial := 0; trial < 15; trial++ {
+		r := base.Split(uint64(trial))
+		in := randomInstance(r, 2+r.Intn(15), 1+r.Intn(4), 1+r.Intn(3))
+		a := Assign(in, 0.5)
+		if err := a.Validate(in, 1e-9); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestAssignDominatesRoundRobin(t *testing.T) {
+	base := rng.New(8)
+	wins, total := 0, 0
+	for trial := 0; trial < 15; trial++ {
+		r := base.Split(uint64(trial))
+		in := randomInstance(r, 6+r.Intn(12), 2+r.Intn(3), 2)
+		a := Assign(in, 0.5)
+		rr := AssignRoundRobin(in, 0.5)
+		if err := rr.Validate(in, 1e-9); err != nil {
+			t.Fatalf("trial %d rr: %v", trial, err)
+		}
+		total++
+		if a.Utility(in) >= rr.Utility(in)*(1-1e-9) {
+			wins++
+		}
+	}
+	if wins < total-1 { // allow one tie-breaking fluke
+		t.Errorf("Assign beat round robin in only %d/%d trials", wins, total)
+	}
+}
+
+func TestAssignSingleServerMatchesAllocate(t *testing.T) {
+	r := rng.New(9)
+	in := randomInstance(r, 8, 1, 2)
+	a := Assign(in, 0.25)
+	_, want := Allocate(in.Cap, in.Threads, 0.25)
+	if got := a.Utility(in); math.Abs(got-want) > 1e-9*(1+want) {
+		t.Errorf("single-server Assign %v != Allocate %v", got, want)
+	}
+}
+
+func TestComplementaryThreadsPack(t *testing.T) {
+	// CPU-heavy and memory-heavy threads are complementary: a smart
+	// assignment pairs them on the same server rather than grouping
+	// same-shaped threads. With 2 servers and 4 threads (2 CPU-heavy,
+	// 2 mem-heavy), pairing unlike threads doubles total bundles.
+	mk := func(w []float64) Thread {
+		return Thread{G: utility.Linear{Slope: 1, C: 1000}, W: w}
+	}
+	in := &Instance{
+		M:   2,
+		Cap: []float64{100, 100},
+		Threads: []Thread{
+			mk([]float64{2, 0.2}), mk([]float64{2, 0.2}), // CPU-heavy
+			mk([]float64{0.2, 2}), mk([]float64{0.2, 2}), // mem-heavy
+		},
+	}
+	a := Assign(in, 0.5)
+	if err := a.Validate(in, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// The unlike pairing achieves ~45.5 bundles per pair (t solves
+	// 2.2t ≤ 100 per resource), i.e. ~90 bundles per server vs ~50 for
+	// like pairing. Require comfortably above the like-pairing total.
+	likeTotal := 2 * (100.0 / 2) // two servers, each pair sharing its bottleneck
+	if u := a.Utility(in); u < likeTotal*1.3 {
+		t.Errorf("total %v suggests like-threads were grouped (like pairing = %v)", u, likeTotal)
+	}
+}

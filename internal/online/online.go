@@ -1,0 +1,341 @@
+// Package online extends AA to a dynamic setting — the paper's third
+// future-work item (§VIII): thread sets and utilities change over time
+// ("in practice the utility functions of threads may change over time.
+// Thus, we would like to integrate online performance measurements into
+// our algorithms to produce dynamically optimal assignments").
+//
+// An event-driven simulator feeds a timeline of arrivals, departures and
+// utility drifts (re-measurements) to a rebalancing policy. Between
+// events the system accrues total utility per unit time; every thread
+// migration (server change for an already-placed thread) costs a fixed
+// penalty, modelling cache-refill or VM move cost. Policies trade
+// assignment quality against migration churn:
+//
+//   - FullResolve re-runs Algorithm 2 on every event (best utility, most
+//     migrations),
+//   - Incremental never migrates: it only re-allocates within the
+//     affected server (zero churn, degrades over time),
+//   - Hybrid is incremental but triggers a full re-solve when measured
+//     quality drops below a threshold of the super-optimal bound.
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"aa/internal/alloc"
+	"aa/internal/core"
+	"aa/internal/utility"
+)
+
+// EventKind discriminates timeline events.
+type EventKind int
+
+// Event kinds.
+const (
+	Arrive EventKind = iota // a new thread appears
+	Depart                  // a thread leaves
+	Drift                   // a thread's utility is re-measured
+)
+
+// Event is one timeline entry. Events must be sorted by Time.
+type Event struct {
+	Time float64
+	Kind EventKind
+	ID   int          // thread identity
+	Util utility.Func // for Arrive and Drift
+}
+
+// Placement is one thread's current server and allocation.
+type Placement struct {
+	Server int
+	Alloc  float64
+}
+
+// State is the live system: the active threads and their placements.
+type State struct {
+	M       int
+	C       float64
+	Threads map[int]utility.Func
+	Place   map[int]Placement
+}
+
+// NewState returns an empty system of m servers with capacity c.
+func NewState(m int, c float64) *State {
+	return &State{M: m, C: c, Threads: map[int]utility.Func{}, Place: map[int]Placement{}}
+}
+
+// ids returns the active thread ids in ascending order (determinism).
+func (s *State) ids() []int {
+	out := make([]int, 0, len(s.Threads))
+	for id := range s.Threads {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TotalUtility returns the instantaneous utility rate Σ f_i(alloc_i).
+func (s *State) TotalUtility() float64 {
+	total := 0.0
+	for id, f := range s.Threads {
+		total += f.Value(s.Place[id].Alloc)
+	}
+	return total
+}
+
+// Loads returns the per-server allocation sums.
+func (s *State) Loads() []float64 {
+	loads := make([]float64, s.M)
+	for _, p := range s.Place {
+		loads[p.Server] += p.Alloc
+	}
+	return loads
+}
+
+// Validate checks the state's placements are feasible.
+func (s *State) Validate(tol float64) error {
+	for id := range s.Threads {
+		p, ok := s.Place[id]
+		if !ok {
+			return fmt.Errorf("online: thread %d unplaced", id)
+		}
+		if p.Server < 0 || p.Server >= s.M {
+			return fmt.Errorf("online: thread %d on invalid server %d", id, p.Server)
+		}
+		if p.Alloc < -tol {
+			return fmt.Errorf("online: thread %d negative allocation", id)
+		}
+	}
+	for id := range s.Place {
+		if _, ok := s.Threads[id]; !ok {
+			return fmt.Errorf("online: stale placement for departed thread %d", id)
+		}
+	}
+	for j, load := range s.Loads() {
+		if load > s.C+tol*(1+s.C) {
+			return fmt.Errorf("online: server %d overloaded: %v > %v", j, load, s.C)
+		}
+	}
+	return nil
+}
+
+// instance builds a core.Instance snapshot plus the id order used.
+func (s *State) instance() (*core.Instance, []int) {
+	ids := s.ids()
+	threads := make([]utility.Func, len(ids))
+	for k, id := range ids {
+		threads[k] = s.Threads[id]
+	}
+	return &core.Instance{M: s.M, C: s.C, Threads: threads}, ids
+}
+
+// reallocServer re-optimizes allocations within one server, leaving the
+// thread→server map untouched.
+func (s *State) reallocServer(j int) {
+	var members []int
+	for _, id := range s.ids() {
+		if s.Place[id].Server == j {
+			members = append(members, id)
+		}
+	}
+	if len(members) == 0 {
+		return
+	}
+	fs := make([]utility.Func, len(members))
+	for k, id := range members {
+		f := s.Threads[id]
+		fs[k] = cappedAt{f: f, c: minFloat(f.Cap(), s.C)}
+	}
+	res := alloc.Concave(fs, s.C)
+	for k, id := range members {
+		s.Place[id] = Placement{Server: j, Alloc: res.Alloc[k]}
+	}
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// cappedAt mirrors core's internal capacity clamp for local reallocation.
+type cappedAt struct {
+	f utility.Func
+	c float64
+}
+
+func (cf cappedAt) Value(x float64) float64 {
+	if x > cf.c {
+		x = cf.c
+	}
+	return cf.f.Value(x)
+}
+
+func (cf cappedAt) Deriv(x float64) float64 {
+	if x >= cf.c {
+		return 0
+	}
+	return cf.f.Deriv(x)
+}
+
+func (cf cappedAt) Cap() float64 { return cf.c }
+
+// Policy reacts to an applied event by updating placements. Applying the
+// event (mutating Threads) is the simulator's job; the policy only
+// repairs Place. It returns the set of migrated thread ids (server
+// changes of threads that existed before the event).
+type Policy interface {
+	Name() string
+	React(s *State, ev Event) (migrated []int)
+}
+
+// FullResolve re-runs Algorithm 2 on the active set after every event.
+type FullResolve struct{}
+
+// Name implements Policy.
+func (FullResolve) Name() string { return "full-resolve" }
+
+// React implements Policy.
+func (FullResolve) React(s *State, ev Event) []int {
+	// Drop placements of departed threads first.
+	for id := range s.Place {
+		if _, ok := s.Threads[id]; !ok {
+			delete(s.Place, id)
+		}
+	}
+	in, ids := s.instance()
+	if len(ids) == 0 {
+		return nil
+	}
+	a := core.Assign2(in)
+	var migrated []int
+	for k, id := range ids {
+		old, existed := s.Place[id]
+		next := Placement{Server: a.Server[k], Alloc: a.Alloc[k]}
+		if existed && id != ev.ID && old.Server != next.Server {
+			migrated = append(migrated, id)
+		}
+		s.Place[id] = next
+	}
+	return migrated
+}
+
+// Incremental never migrates existing threads: arrivals go to the
+// least-loaded server, and only the affected server is re-allocated.
+type Incremental struct{}
+
+// Name implements Policy.
+func (Incremental) Name() string { return "incremental" }
+
+// React implements Policy.
+func (Incremental) React(s *State, ev Event) []int {
+	switch ev.Kind {
+	case Arrive:
+		loads := s.Loads()
+		best := 0
+		for j := 1; j < s.M; j++ {
+			if loads[j] < loads[best] {
+				best = j
+			}
+		}
+		s.Place[ev.ID] = Placement{Server: best, Alloc: 0}
+		s.reallocServer(best)
+	case Depart:
+		if p, ok := s.Place[ev.ID]; ok {
+			delete(s.Place, ev.ID)
+			s.reallocServer(p.Server)
+		}
+	case Drift:
+		if p, ok := s.Place[ev.ID]; ok {
+			s.reallocServer(p.Server)
+		}
+	}
+	return nil
+}
+
+// Hybrid runs Incremental, then falls back to a full re-solve whenever
+// the incremental state's utility drops below Threshold times the
+// super-optimal bound of the active set (the paper's α ≈ 0.828 is the
+// natural setting: rebuild when the incremental state is worse than the
+// approximation guarantee).
+type Hybrid struct {
+	Threshold float64
+}
+
+// Name implements Policy.
+func (h Hybrid) Name() string { return fmt.Sprintf("hybrid(%.2f)", h.Threshold) }
+
+// React implements Policy.
+func (h Hybrid) React(s *State, ev Event) []int {
+	migrated := (Incremental{}).React(s, ev)
+	in, _ := s.instance()
+	if in.N() == 0 {
+		return migrated
+	}
+	bound := core.SuperOptimal(in).Total
+	if bound <= 0 || s.TotalUtility() >= h.Threshold*bound {
+		return migrated
+	}
+	return append(migrated, (FullResolve{}).React(s, ev)...)
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	UtilityIntegral float64 // ∫ total utility dt over the horizon
+	Migrations      int     // thread moves caused by the policy
+	MigrationCost   float64 // Migrations × per-move cost
+	Net             float64 // UtilityIntegral − MigrationCost
+	FinalThreads    int
+}
+
+// Simulate plays the event timeline (sorted by Time) under the policy,
+// accruing utility between events and charging moveCost per migration.
+// horizon is the end time; events at or after it are ignored.
+func Simulate(m int, c float64, events []Event, policy Policy, moveCost, horizon float64) (Result, error) {
+	s := NewState(m, c)
+	var res Result
+	now := 0.0
+	for _, ev := range events {
+		if ev.Time >= horizon {
+			break
+		}
+		if ev.Time < now {
+			return Result{}, fmt.Errorf("online: events out of order at t=%v", ev.Time)
+		}
+		res.UtilityIntegral += s.TotalUtility() * (ev.Time - now)
+		now = ev.Time
+
+		switch ev.Kind {
+		case Arrive:
+			if ev.Util == nil {
+				return Result{}, fmt.Errorf("online: arrival %d without utility", ev.ID)
+			}
+			if _, exists := s.Threads[ev.ID]; exists {
+				return Result{}, fmt.Errorf("online: duplicate arrival %d", ev.ID)
+			}
+			s.Threads[ev.ID] = ev.Util
+		case Depart:
+			delete(s.Threads, ev.ID)
+		case Drift:
+			if _, exists := s.Threads[ev.ID]; !exists {
+				continue // drift for a departed thread: ignore
+			}
+			if ev.Util == nil {
+				return Result{}, fmt.Errorf("online: drift %d without utility", ev.ID)
+			}
+			s.Threads[ev.ID] = ev.Util
+		}
+		migrated := policy.React(s, ev)
+		res.Migrations += len(migrated)
+		if err := s.Validate(1e-6); err != nil {
+			return Result{}, fmt.Errorf("online: after t=%v: %w", ev.Time, err)
+		}
+	}
+	res.UtilityIntegral += s.TotalUtility() * (horizon - now)
+	res.MigrationCost = float64(res.Migrations) * moveCost
+	res.Net = res.UtilityIntegral - res.MigrationCost
+	res.FinalThreads = len(s.Threads)
+	return res, nil
+}

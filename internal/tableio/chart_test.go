@@ -1,0 +1,69 @@
+package tableio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	c := NewChart("demo", "beta", "ratio", []float64{1, 2, 3, 4})
+	c.AddSeries("up", []float64{1, 2, 3, 4})
+	c.AddSeries("flat", []float64{2, 2, 2, 2})
+	out := c.String()
+	if !strings.Contains(out, "demo") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	for _, want := range []string{"* up", "o flat", "(y: ratio)", "beta"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Markers appear in the grid.
+	if strings.Count(out, "*") < 4 {
+		t.Errorf("expected at least 4 '*' marks:\n%s", out)
+	}
+	// The rising series touches top row, the flat one does not.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	if !strings.Contains(top, "*") {
+		t.Errorf("top row should contain the max of the rising series:\n%s", out)
+	}
+}
+
+func TestChartAxisLabels(t *testing.T) {
+	c := NewChart("t", "x", "y", []float64{0, 10})
+	c.AddSeries("s", []float64{5, 15})
+	out := c.String()
+	if !strings.Contains(out, "15") || !strings.Contains(out, "5") {
+		t.Errorf("missing y-axis extremes:\n%s", out)
+	}
+	if !strings.Contains(out, "10") {
+		t.Errorf("missing x max:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := NewChart("nothing", "x", "y", nil)
+	if !strings.Contains(c.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := NewChart("const", "x", "y", []float64{1, 2})
+	c.AddSeries("s", []float64{3, 3})
+	out := c.String()
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Errorf("constant series mis-rendered:\n%s", out)
+	}
+}
+
+func TestChartPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c := NewChart("t", "x", "y", []float64{1, 2})
+	c.AddSeries("bad", []float64{1})
+}

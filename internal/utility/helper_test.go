@@ -1,0 +1,6 @@
+package utility
+
+import "time"
+
+// timeAfter gives regression tests a generous hang detector.
+func timeAfter() <-chan time.Time { return time.After(10 * time.Second) }

@@ -1,0 +1,561 @@
+package utility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const c1000 = 1000.0
+
+// allFamilies returns one representative of each closed-form family over
+// capacity C=1000 for table-driven property tests.
+func allFamilies() map[string]Func {
+	return map[string]Func{
+		"linear":       Linear{Slope: 2, C: c1000},
+		"cappedLinear": CappedLinear{Slope: 3, Knee: 400, C: c1000},
+		"powerHalf":    Power{Scale: 5, Beta: 0.5, C: c1000},
+		"powerOne":     Power{Scale: 5, Beta: 1, C: c1000},
+		"log":          Log{Scale: 4, Shift: 50, C: c1000},
+		"satexp":       SatExp{Scale: 7, K: 200, C: c1000},
+		"saturating":   Saturating{Scale: 9, K: 300, C: c1000},
+	}
+}
+
+func TestAllFamiliesValidate(t *testing.T) {
+	for name, f := range allFamilies() {
+		if err := Validate(f, 2000, 1e-9); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestAllFamiliesValueAtZero(t *testing.T) {
+	for name, f := range allFamilies() {
+		if v := f.Value(0); v != 0 {
+			t.Errorf("%s: Value(0) = %v, want 0", name, v)
+		}
+	}
+}
+
+func TestAllFamiliesClampOutsideDomain(t *testing.T) {
+	for name, f := range allFamilies() {
+		atCap := f.Value(f.Cap())
+		if v := f.Value(f.Cap() + 100); v != atCap {
+			t.Errorf("%s: Value beyond cap = %v, want %v", name, v, atCap)
+		}
+		if v := f.Value(-5); v != f.Value(0) {
+			t.Errorf("%s: Value(-5) = %v, want f(0)", name, v)
+		}
+	}
+}
+
+func TestAllFamiliesDerivMatchesFiniteDifference(t *testing.T) {
+	const h = 1e-5
+	for name, f := range allFamilies() {
+		for _, x := range []float64{1, 10, 100, 500, 900} {
+			fd := (f.Value(x+h) - f.Value(x-h)) / (2 * h)
+			got := f.Deriv(x)
+			if math.Abs(got-fd) > 1e-3*(1+math.Abs(fd)) {
+				t.Errorf("%s: Deriv(%v) = %v, finite difference %v", name, x, got, fd)
+			}
+		}
+	}
+}
+
+// InverseDeriv must agree with the generic bisection for every family that
+// provides a closed form.
+func TestInverseDerivClosedFormsAgreeWithBisection(t *testing.T) {
+	for name, f := range allFamilies() {
+		inv, ok := f.(DerivInverter)
+		if !ok {
+			continue
+		}
+		for _, lambda := range []float64{0.0001, 0.001, 0.01, 0.1, 1, 10} {
+			got := inv.InverseDeriv(lambda)
+			// Reference: bisection directly on Deriv (bypass fast path).
+			ref := bisectInverse(f, lambda)
+			if math.Abs(got-ref) > 1e-3*(1+ref) {
+				t.Errorf("%s: InverseDeriv(%v) = %v, bisection %v", name, lambda, got, ref)
+			}
+		}
+	}
+}
+
+// bisectInverse is the generic inversion without the fast-path dispatch.
+func bisectInverse(f Func, lambda float64) float64 {
+	c := f.Cap()
+	if f.Deriv(0) < lambda {
+		return 0
+	}
+	if f.Deriv(c) >= lambda {
+		return c
+	}
+	lo, hi := 0.0, c
+	for hi-lo > 1e-9 {
+		mid := 0.5 * (lo + hi)
+		if f.Deriv(mid) >= lambda {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func TestInverseDerivDefinition(t *testing.T) {
+	// For every family: at x = InverseDeriv(λ), Deriv(x) >= λ holds just
+	// below x, and fails just above (unless clamped at 0 or C).
+	for name, f := range allFamilies() {
+		for _, lambda := range []float64{0.001, 0.05, 0.5} {
+			x := InverseDeriv(f, lambda, 1e-10)
+			if x > 1e-6 {
+				if d := f.Deriv(x * (1 - 1e-9)); d < lambda*(1-1e-6) {
+					t.Errorf("%s: Deriv just below InverseDeriv(%v)=%v is %v < λ", name, lambda, x, d)
+				}
+			}
+			if x < f.Cap()-1e-6 {
+				if d := f.Deriv(x + 1e-6*(1+x)); d > lambda*(1+1e-3) {
+					t.Errorf("%s: Deriv just above InverseDeriv(%v)=%v is %v > λ", name, lambda, x, d)
+				}
+			}
+		}
+	}
+}
+
+func TestPowerIntroExample(t *testing.T) {
+	// Paper §I: with f(x) = x^β, equal allocation of C among n threads
+	// yields C^β n^(1-β), arbitrarily better than fixed-request for big n.
+	f := Power{Scale: 1, Beta: 0.5, C: c1000}
+	n := 100.0
+	equal := n * f.Value(c1000/n) // n threads, C/n each
+	want := math.Pow(c1000, 0.5) * math.Pow(n, 0.5)
+	if math.Abs(equal-want) > 1e-6*want {
+		t.Errorf("equal-split total = %v, want %v", equal, want)
+	}
+}
+
+func TestCappedLinearShape(t *testing.T) {
+	f := CappedLinear{Slope: 2, Knee: 10, C: 100}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {5, 10}, {10, 20}, {50, 20}, {100, 20},
+	}
+	for _, tc := range cases {
+		if got := f.Value(tc.x); got != tc.want {
+			t.Errorf("Value(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if d := f.Deriv(5); d != 2 {
+		t.Errorf("Deriv(5) = %v, want 2", d)
+	}
+	if d := f.Deriv(15); d != 0 {
+		t.Errorf("Deriv(15) = %v, want 0", d)
+	}
+}
+
+func TestPiecewiseLinear(t *testing.T) {
+	p, err := NewPiecewiseLinear([]float64{0, 10, 30}, []float64{0, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Value(5); got != 10 {
+		t.Errorf("Value(5) = %v, want 10", got)
+	}
+	if got := p.Value(20); got != 25 {
+		t.Errorf("Value(20) = %v, want 25", got)
+	}
+	if got := p.Deriv(5); got != 2 {
+		t.Errorf("Deriv(5) = %v, want 2", got)
+	}
+	if got := p.Cap(); got != 30 {
+		t.Errorf("Cap() = %v, want 30", got)
+	}
+	if err := Validate(p, 500, 1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPiecewiseLinearInverseDeriv(t *testing.T) {
+	p, _ := NewPiecewiseLinear([]float64{0, 10, 30}, []float64{0, 20, 30})
+	cases := []struct{ lambda, want float64 }{
+		{3, 0},    // no segment has slope >= 3
+		{2, 10},   // first segment only
+		{1, 10},   // first segment only (second has slope 0.5)
+		{0.5, 30}, // both segments
+		{0.1, 30},
+	}
+	for _, tc := range cases {
+		if got := p.InverseDeriv(tc.lambda); got != tc.want {
+			t.Errorf("InverseDeriv(%v) = %v, want %v", tc.lambda, got, tc.want)
+		}
+	}
+}
+
+func TestPiecewiseLinearRejectsBadData(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs, ys []float64
+	}{
+		{"not from zero", []float64{1, 2}, []float64{0, 1}},
+		{"decreasing", []float64{0, 1, 2}, []float64{0, 2, 1}},
+		{"convex", []float64{0, 1, 2}, []float64{0, 1, 3}},
+		{"negative", []float64{0, 1}, []float64{-1, 0}},
+		{"empty", nil, nil},
+	}
+	for _, tc := range cases {
+		if _, err := NewPiecewiseLinear(tc.xs, tc.ys); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestSampledPaperGeneratorShape(t *testing.T) {
+	// The paper's three-point construction (0,0), (C/2, v), (C, v+w), w<=v.
+	s, err := NewSampled([]float64{0, c1000 / 2, c1000}, []float64{0, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Value(c1000 / 2); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Value(C/2) = %v, want 5", got)
+	}
+	if got := s.Value(c1000); math.Abs(got-6) > 1e-9 {
+		t.Errorf("Value(C) = %v, want 6", got)
+	}
+	// Monotone nondecreasing on a dense grid.
+	prev := s.Value(0)
+	for x := 0.0; x <= c1000; x += 1 {
+		v := s.Value(x)
+		if v < prev-1e-9 {
+			t.Fatalf("sampled curve decreases at x=%v", x)
+		}
+		prev = v
+	}
+}
+
+func TestSampledRejectsBadData(t *testing.T) {
+	if _, err := NewSampled([]float64{0, 1}, []float64{1, 0}); err == nil {
+		t.Error("decreasing data accepted")
+	}
+	if _, err := NewSampled([]float64{1, 2}, []float64{0, 1}); err == nil {
+		t.Error("domain not starting at 0 accepted")
+	}
+	if _, err := NewSampled([]float64{0, 1}, []float64{-1, 1}); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+func TestScaledCombinator(t *testing.T) {
+	f := Scaled{F: Linear{Slope: 2, C: 100}, Factor: 3}
+	if got := f.Value(10); got != 60 {
+		t.Errorf("Value(10) = %v, want 60", got)
+	}
+	if got := f.Deriv(10); got != 6 {
+		t.Errorf("Deriv(10) = %v, want 6", got)
+	}
+	if got := f.InverseDeriv(5); got != 100 {
+		t.Errorf("InverseDeriv(5) = %v, want 100 (slope 6 >= 5 everywhere)", got)
+	}
+	if got := f.InverseDeriv(7); got != 0 {
+		t.Errorf("InverseDeriv(7) = %v, want 0", got)
+	}
+}
+
+func TestSumCombinator(t *testing.T) {
+	s := Sum{Fs: []Func{
+		Linear{Slope: 1, C: 100},
+		CappedLinear{Slope: 1, Knee: 50, C: 100},
+	}}
+	if got := s.Value(60); got != 110 {
+		t.Errorf("Value(60) = %v, want 110", got)
+	}
+	if got := s.Deriv(10); got != 2 {
+		t.Errorf("Deriv(10) = %v, want 2", got)
+	}
+	if got := s.Cap(); got != 100 {
+		t.Errorf("Cap() = %v, want 100", got)
+	}
+	if err := Validate(s, 500, 1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOffsetCombinator(t *testing.T) {
+	o := Offset{F: Linear{Slope: 1, C: 10}, Base: 5}
+	if got := o.Value(0); got != 5 {
+		t.Errorf("Value(0) = %v, want 5", got)
+	}
+	if got := o.Value(10); got != 15 {
+		t.Errorf("Value(10) = %v, want 15", got)
+	}
+	if err := Validate(o, 100, 1e-9); err != nil {
+		t.Error(err)
+	}
+	if got := o.InverseDeriv(0.5); got != 10 {
+		t.Errorf("InverseDeriv(0.5) = %v, want 10", got)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	// Convex function must be rejected.
+	conv := quadratic{c: 100}
+	err := Validate(conv, 500, 1e-9)
+	if err == nil {
+		t.Fatal("convex function passed validation")
+	}
+	ve, ok := err.(*ValidationError)
+	if !ok || ve.Property != "concave" {
+		t.Errorf("got %v, want concavity violation", err)
+	}
+
+	// Decreasing function must be rejected.
+	dec := negLinear{c: 100}
+	err = Validate(dec, 500, 1e-9)
+	if err == nil {
+		t.Fatal("decreasing function passed validation")
+	}
+}
+
+// quadratic f(x) = x² is convex — used to exercise Validate.
+type quadratic struct{ c float64 }
+
+func (q quadratic) Value(x float64) float64 { x = clamp(x, q.c); return x * x }
+func (q quadratic) Deriv(x float64) float64 { return 2 * clamp(x, q.c) }
+func (q quadratic) Cap() float64            { return q.c }
+
+// negLinear f(x) = -x is decreasing and negative.
+type negLinear struct{ c float64 }
+
+func (n negLinear) Value(x float64) float64 { return -clamp(x, n.c) }
+func (n negLinear) Deriv(x float64) float64 { return -1 }
+func (n negLinear) Cap() float64            { return n.c }
+
+func TestValidateNonpositiveCap(t *testing.T) {
+	if err := Validate(Linear{Slope: 1, C: 0}, 100, 1e-9); err == nil {
+		t.Error("zero capacity passed validation")
+	}
+}
+
+// Property: InverseDeriv is monotone nonincreasing in lambda for all
+// families (higher marginal-value threshold ⇒ less resource qualifies).
+func TestInverseDerivMonotoneProperty(t *testing.T) {
+	for name, f := range allFamilies() {
+		f := f
+		prop := func(a, b float64) bool {
+			la, lb := math.Abs(a)+1e-6, math.Abs(b)+1e-6
+			if la > lb {
+				la, lb = lb, la
+			}
+			return InverseDeriv(f, la, 1e-9) >= InverseDeriv(f, lb, 1e-9)-1e-6
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func BenchmarkPowerInverseDeriv(b *testing.B) {
+	f := Power{Scale: 5, Beta: 0.5, C: c1000}
+	for i := 0; i < b.N; i++ {
+		f.InverseDeriv(0.1)
+	}
+}
+
+func BenchmarkGenericInverseDeriv(b *testing.B) {
+	// Force the bisection path with a wrapper lacking the fast path.
+	f := noInvWrapper{Power{Scale: 5, Beta: 0.5, C: c1000}}
+	for i := 0; i < b.N; i++ {
+		InverseDeriv(f, 0.1, 1e-9)
+	}
+}
+
+type noInvWrapper struct{ f Func }
+
+func (w noInvWrapper) Value(x float64) float64 { return w.f.Value(x) }
+func (w noInvWrapper) Deriv(x float64) float64 { return w.f.Deriv(x) }
+func (w noInvWrapper) Cap() float64            { return w.f.Cap() }
+
+func TestMinCombinator(t *testing.T) {
+	// Demand cap: linear growth clipped at 12.
+	m := Min{Fs: []Func{
+		Linear{Slope: 2, C: 100},
+		CappedLinear{Slope: 1e9, Knee: 12e-9, C: 100}, // ~constant 12
+	}}
+	if got := m.Value(3); got != 6 {
+		t.Errorf("Value(3) = %v, want 6", got)
+	}
+	if got := m.Value(50); math.Abs(got-12) > 1e-6 {
+		t.Errorf("Value(50) = %v, want ~12", got)
+	}
+	if got := m.Deriv(3); got != 2 {
+		t.Errorf("Deriv(3) = %v, want 2 (linear branch binding)", got)
+	}
+	if got := m.Deriv(50); got != 0 {
+		t.Errorf("Deriv(50) = %v, want 0 (cap binding)", got)
+	}
+	if err := Validate(m, 1000, 1e-6); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinCombinatorEmptyAndCap(t *testing.T) {
+	var m Min
+	if m.Value(5) != 0 || m.Deriv(5) != 0 || m.Cap() != 0 {
+		t.Error("empty Min should be identically zero")
+	}
+	m = Min{Fs: []Func{Linear{Slope: 1, C: 10}, Linear{Slope: 1, C: 7}}}
+	if m.Cap() != 7 {
+		t.Errorf("Cap = %v, want 7", m.Cap())
+	}
+}
+
+// randomConcavePL builds a random concave nondecreasing piecewise-linear
+// utility with up to 6 knots.
+func randomConcavePL(seed uint64, c float64) *PiecewiseLinear {
+	// Simple LCG so this helper has no dependencies.
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / (1 << 53)
+	}
+	k := 2 + int(next()*5)
+	xs := make([]float64, k)
+	ys := make([]float64, k)
+	for i := 1; i < k; i++ {
+		xs[i] = xs[i-1] + 0.05*c + next()*c/float64(k)
+	}
+	// Force last knot to c and rescale.
+	scale := c / xs[k-1]
+	for i := range xs {
+		xs[i] *= scale
+	}
+	slope := 1 + next()*3
+	for i := 1; i < k; i++ {
+		ys[i] = ys[i-1] + slope*(xs[i]-xs[i-1])
+		slope *= 0.3 + 0.7*next() // nonincreasing slopes => concave
+	}
+	pl, err := NewPiecewiseLinear(xs, ys)
+	if err != nil {
+		panic(err)
+	}
+	return pl
+}
+
+// Property: generic concave piecewise-linear utilities (arbitrary knots)
+// pass validation and InverseDeriv honors its definition.
+func TestRandomPiecewiseLinearProperties(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		pl := randomConcavePL(seed, 100)
+		if err := Validate(pl, 400, 1e-9); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, lambda := range []float64{0.01, 0.5, 1, 2, 5} {
+			x := pl.InverseDeriv(lambda)
+			if x < 0 || x > pl.Cap() {
+				t.Fatalf("seed %d: InverseDeriv out of range: %v", seed, x)
+			}
+			if x > 1e-9 && pl.Deriv(x-1e-9) < lambda-1e-9 {
+				t.Fatalf("seed %d λ=%v: slope before x=%v is %v < λ",
+					seed, lambda, x, pl.Deriv(x-1e-9))
+			}
+		}
+	}
+}
+
+func TestCombinatorDerivAndCapCoverage(t *testing.T) {
+	// Scaled without a fast-path inner function falls back to bisection.
+	s := Scaled{F: noInvWrapper{Log{Scale: 2, Shift: 10, C: 100}}, Factor: 2}
+	if got, want := s.Deriv(10), 2*(Log{Scale: 2, Shift: 10, C: 100}).Deriv(10); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Scaled.Deriv = %v, want %v", got, want)
+	}
+	x := s.InverseDeriv(0.1)
+	if d := s.Deriv(x); math.Abs(d-0.1) > 1e-3 {
+		t.Errorf("Scaled.InverseDeriv(0.1) = %v with Deriv %v", x, d)
+	}
+	// Non-positive factor: no resource is ever worth taking.
+	z := Scaled{F: Linear{Slope: 1, C: 10}, Factor: 0}
+	if z.InverseDeriv(0.5) != 0 {
+		t.Error("zero-factor Scaled should demand nothing")
+	}
+
+	// Sum/Offset/Min Deriv and Cap edges.
+	sum := Sum{}
+	if sum.Cap() != 0 {
+		t.Error("empty Sum cap")
+	}
+	off := Offset{F: noInvWrapper{SatExp{Scale: 2, K: 10, C: 50}}, Base: 1}
+	if got := off.InverseDeriv(0.05); got <= 0 || got > 50 {
+		t.Errorf("Offset.InverseDeriv via bisection = %v", got)
+	}
+	if off.Cap() != 50 {
+		t.Errorf("Offset.Cap = %v", off.Cap())
+	}
+	mn := Min{Fs: []Func{Linear{Slope: 2, C: 30}, Linear{Slope: 1, C: 40}}}
+	if mn.Value(10) != 10 {
+		t.Errorf("Min.Value = %v, want 10 (slope-1 branch)", mn.Value(10))
+	}
+}
+
+func TestInverseDerivBoundaryBranches(t *testing.T) {
+	f := noInvWrapper{Log{Scale: 1, Shift: 10, C: 100}}
+	// λ larger than Deriv(0)=0.1: nothing qualifies.
+	if got := InverseDeriv(f, 0.2, 1e-9); got != 0 {
+		t.Errorf("InverseDeriv above max marginal = %v, want 0", got)
+	}
+	// λ smaller than every interior marginal: (almost) everything
+	// qualifies. Deriv is 0 exactly at the cap by convention, so the
+	// bisection converges to C from below.
+	if got := InverseDeriv(f, 1e-9, 1e-9); got < 100-1e-6 {
+		t.Errorf("InverseDeriv below min marginal = %v, want ~C", got)
+	}
+}
+
+func TestValidationErrorMessage(t *testing.T) {
+	err := Validate(quadratic{c: 100}, 300, 1e-9)
+	ve, ok := err.(*ValidationError)
+	if !ok {
+		t.Fatalf("got %T", err)
+	}
+	msg := ve.Error()
+	if msg == "" || ve.Property != "concave" {
+		t.Errorf("message %q property %q", msg, ve.Property)
+	}
+}
+
+func TestFamilyDerivBeyondCap(t *testing.T) {
+	// Every family must report zero marginal value beyond its domain.
+	for name, f := range allFamilies() {
+		if d := f.Deriv(f.Cap() + 1); d != 0 {
+			t.Errorf("%s: Deriv beyond cap = %v, want 0", name, d)
+		}
+	}
+	// And Linear/CappedLinear inside vs at the cap.
+	lin := Linear{Slope: 2, C: 10}
+	if lin.Deriv(10) != 0 {
+		t.Error("Linear.Deriv at cap should be 0")
+	}
+	pw, _ := NewPiecewiseLinear([]float64{0, 5, 10}, []float64{0, 5, 8})
+	if pw.Deriv(10) != 0 {
+		t.Error("PiecewiseLinear.Deriv at cap should be 0")
+	}
+}
+
+func TestInverseDerivTerminatesOnHugeDomains(t *testing.T) {
+	// Regression: with C = 1e6 the float64 ulp (~1.2e-10) exceeds an
+	// absolute tolerance of 1e-12, so an unbounded bisection spins
+	// forever. The loop must terminate and return a sensible point.
+	xs := []float64{0, 5e5, 1e6}
+	ys := []float64{0, 0.8, 1.0}
+	s, err := NewSampled(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan float64, 1)
+	go func() { done <- InverseDeriv(s, 1e-7, 1e-12) }()
+	select {
+	case x := <-done:
+		if x < 0 || x > 1e6 {
+			t.Errorf("InverseDeriv = %v out of domain", x)
+		}
+	case <-timeAfter():
+		t.Fatal("InverseDeriv did not terminate")
+	}
+}
