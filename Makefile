@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures examples cover clean
+.PHONY: all build test vet fmtcheck race fuzz-smoke bench-smoke ci bench figures examples cover clean
 
-all: build vet test
+all: build vet fmtcheck test
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,26 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Fail if any file needs gofmt (same check CI runs).
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Full test suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+# Ten seconds of fuzzing against the concave-allocation invariants.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=Fuzz -fuzztime=10s ./internal/alloc
+
+# Every benchmark compiled and run once.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Mirror of .github/workflows/ci.yml.
+ci: build vet fmtcheck race fuzz-smoke bench-smoke
 
 # One benchmark per paper figure/claim plus micro-benchmarks.
 bench:

@@ -23,6 +23,10 @@
 //	sol := aa.Solve(inst)
 //	fmt.Println(sol.Utility(inst), sol.Server, sol.Alloc)
 //
+// For concurrent workloads, SolveBatch and SolverPool fan independent
+// solves out across a worker pool with per-request cancellation,
+// bounded queueing and backpressure (see internal/solverpool).
+//
 // Beyond Solve, the package re-exports the super-optimal upper bound,
 // Algorithm 1, the exact solvers for small instances, the comparison
 // heuristics from the paper's evaluation, the synthetic workload
@@ -34,10 +38,13 @@
 package aa
 
 import (
+	"context"
+
 	"aa/internal/core"
 	"aa/internal/experiment"
 	"aa/internal/gen"
 	"aa/internal/rng"
+	"aa/internal/solverpool"
 	"aa/internal/utility"
 )
 
@@ -154,6 +161,40 @@ func Polish(in *Instance, a Assignment) Assignment {
 	return core.PolishAllocations(in, a)
 }
 
+// Batch solving (internal/solverpool): a worker-pool engine that fans
+// independent solves out across GOMAXPROCS workers with per-request
+// context cancellation, bounded queueing with reject-with-error
+// backpressure, and atomic counters.
+type (
+	// SolverPool is a long-lived worker pool for streams of solve
+	// requests. Create with NewSolverPool, release with Close.
+	SolverPool = solverpool.Pool
+	// SolverPoolOptions configure worker count and queue depth.
+	SolverPoolOptions = solverpool.Options
+	// SolverPoolStats is a snapshot of a pool's counters.
+	SolverPoolStats = solverpool.Stats
+)
+
+// ErrQueueFull is the backpressure signal returned by SolverPool.Submit
+// when the bounded job queue is at capacity.
+var ErrQueueFull = solverpool.ErrQueueFull
+
+// NewSolverPool starts a batch-solve worker pool. The zero options give
+// GOMAXPROCS workers and a queue of twice that depth.
+func NewSolverPool(opts SolverPoolOptions) *SolverPool { return solverpool.New(opts) }
+
+// SolveBatch solves the instances concurrently across GOMAXPROCS
+// workers and returns one Algorithm 2 assignment per instance, in input
+// order. The first failure cancels the remaining solves; cancelling ctx
+// returns promptly with ctx.Err(). Callers with a steady stream of
+// requests should hold a NewSolverPool instead of paying pool startup
+// per batch.
+func SolveBatch(ctx context.Context, ins []*Instance) ([]Assignment, error) {
+	p := solverpool.New(solverpool.Options{})
+	defer p.Close()
+	return p.SolveBatch(ctx, ins)
+}
+
 // Rand is the deterministic random generator used by the stochastic
 // heuristics and the workload generator.
 type Rand = rng.Rand
@@ -211,6 +252,14 @@ type (
 func Figures(trials int) []ExperimentSpec { return experiment.AllFigures(trials) }
 
 // RunExperiment executes a figure spec deterministically in (spec, seed).
-func RunExperiment(spec ExperimentSpec, seed uint64, parallelism int) (*ExperimentResult, error) {
-	return experiment.Run(spec, seed, parallelism)
+func RunExperiment(spec ExperimentSpec, seed uint64, workers int) (*ExperimentResult, error) {
+	return experiment.Run(spec, seed, workers)
+}
+
+// RunExperimentContext is RunExperiment with cancellation: the trials
+// fan out across a solver pool with the given worker count, and a
+// cancelled or expired ctx aborts the run promptly. Results are
+// identical for every worker count.
+func RunExperimentContext(ctx context.Context, spec ExperimentSpec, seed uint64, workers int) (*ExperimentResult, error) {
+	return experiment.RunContext(ctx, spec, seed, workers)
 }

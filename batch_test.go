@@ -1,0 +1,88 @@
+package aa
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// generateBatch draws n reproducible instances with the §VII generator.
+func generateBatch(t testing.TB, n, threads int) []*Instance {
+	t.Helper()
+	r := NewRand(7)
+	ins := make([]*Instance, n)
+	for i := range ins {
+		in, err := GenerateInstance(UniformDist{Lo: 0, Hi: 1}, 4, 500, threads, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins[i] = in
+	}
+	return ins
+}
+
+func TestSolveBatchMatchesSolve(t *testing.T) {
+	ins := generateBatch(t, 16, 24)
+	out, err := SolveBatch(context.Background(), ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(ins) {
+		t.Fatalf("got %d assignments, want %d", len(out), len(ins))
+	}
+	for i, in := range ins {
+		if got, want := out[i].Utility(in), Solve(in).Utility(in); got != want {
+			t.Errorf("instance %d: batch utility %v != Solve %v", i, got, want)
+		}
+		if err := out[i].Validate(in, 1e-9); err != nil {
+			t.Errorf("instance %d: infeasible assignment: %v", i, err)
+		}
+	}
+}
+
+// SolveBatch must return context.Canceled promptly even when workers
+// are mid-solve on large instances.
+func TestSolveBatchCancelledPromptly(t *testing.T) {
+	ins := generateBatch(t, 32, 3000)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := SolveBatch(ctx, ins)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("SolveBatch took %v to notice cancellation", elapsed)
+	}
+}
+
+func TestSolverPoolFacade(t *testing.T) {
+	p := NewSolverPool(SolverPoolOptions{Workers: 2})
+	defer p.Close()
+	ins := generateBatch(t, 4, 10)
+	for _, in := range ins {
+		a, err := p.Solve(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Validate(in, 1e-9); err != nil {
+			t.Errorf("pool assignment infeasible: %v", err)
+		}
+	}
+	st := p.Snapshot()
+	if st.Completed != 4 || st.Workers != 2 {
+		t.Errorf("stats = %+v, want 4 completed on 2 workers", st)
+	}
+}
+
+func TestSolveBatchRejectsInvalidInstance(t *testing.T) {
+	ins := generateBatch(t, 3, 10)
+	ins[1] = &Instance{M: 0, C: 1}
+	if _, err := SolveBatch(context.Background(), ins); err == nil {
+		t.Error("invalid instance did not fail the batch")
+	}
+}

@@ -8,14 +8,20 @@
 // Usage:
 //
 //	aabench [-fig all|fig1a|fig1b|fig2a|fig2b|fig3a|fig3b|fig3c|ext-ls]
-//	        [-ext] [-plot] [-trials 1000] [-seed 1] [-parallel 0] [-csv dir]
+//	        [-ext] [-plot] [-trials 1000] [-seed 1] [-workers 0]
+//	        [-timeout 0] [-csv dir]
 //
-// -ext additionally runs the extension experiments (e.g. ext-ls: local
+// Trials fan out across a solver pool with -workers goroutines
+// (0 = GOMAXPROCS); the tables are identical for every worker count.
+// -timeout bounds the whole run: on expiry the remaining trials are
+// cancelled and the command fails with the deadline error. -ext
+// additionally runs the extension experiments (e.g. ext-ls: local
 // search and greedy-marginal against the super-optimal bound) when
 // -fig all is selected.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -42,7 +48,9 @@ func run(args []string, stdout io.Writer) error {
 		fig      = fs.String("fig", "all", "figure id to run, or 'all'")
 		trials   = fs.Int("trials", experiment.DefaultTrials, "random trials per sweep point")
 		seed     = fs.Uint64("seed", 1, "base random seed")
-		parallel = fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		workers  = fs.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
+		parallel = fs.Int("parallel", 0, "deprecated alias for -workers")
+		timeout  = fs.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 		csvDir   = fs.String("csv", "", "directory to write per-figure CSV files (optional)")
 		ext      = fs.Bool("ext", false, "with -fig all, also run the extension experiments")
 		plot     = fs.Bool("plot", false, "render each figure as an ASCII chart as well")
@@ -50,6 +58,15 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers == 0 {
+		*workers = *parallel
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	// ext-hetero and ext-runtime have their own harnesses (per-server
@@ -90,7 +107,7 @@ func run(args []string, stdout io.Writer) error {
 
 	for _, spec := range specs {
 		start := time.Now()
-		res, err := experiment.Run(spec, *seed, *parallel)
+		res, err := experiment.RunContext(ctx, spec, *seed, *workers)
 		if err != nil {
 			return err
 		}
@@ -127,6 +144,11 @@ func writeCSV(dir, id string, res *experiment.Result) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return experiment.Render(res).WriteCSV(f)
+	if err := experiment.Render(res).WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	// Close errors matter here: the CSV is the artifact, and a failed
+	// flush would otherwise be dropped silently.
+	return f.Close()
 }

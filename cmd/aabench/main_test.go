@@ -71,6 +71,48 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// Worker count must not change a single digit of the output.
+func TestRunSameTablesForAnyWorkerCount(t *testing.T) {
+	clean := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(line, "(") { // timing line
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"-fig", "fig3b", "-trials", "6", "-seed", "9", "-workers", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fig", "fig3b", "-trials", "6", "-seed", "9", "-workers", "8"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if clean(serial.String()) != clean(parallel.String()) {
+		t.Errorf("-workers=8 output differs from -workers=1:\n--- 1 ---\n%s\n--- 8 ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+func TestRunTimeoutExpires(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-fig", "fig1a", "-trials", "5000", "-timeout", "1ms"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestRunParallelAliasStillWorks(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "fig2b", "-trials", "2", "-parallel", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig2b") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
 func TestRunExtHetero(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-fig", "ext-hetero", "-trials", "3"}, &out); err != nil {

@@ -10,18 +10,26 @@
 //
 //	aaonline [-m 4] [-c 100] [-events 300] [-seed 1]
 //	         [-threshold 0.828] [-costs 0,1,5,20,100,500]
+//	         [-workers 0] [-timeout 0]
+//
+// The (policy × cost) simulation grid fans out across a solver pool
+// with -workers goroutines (0 = GOMAXPROCS); the tables are identical
+// for every worker count. -timeout bounds the whole run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"aa/internal/online"
 	"aa/internal/rng"
+	"aa/internal/solverpool"
 	"aa/internal/tableio"
 	"aa/internal/utility"
 )
@@ -44,6 +52,8 @@ func run(args []string, stdout io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "random seed")
 		threshold = fs.Float64("threshold", 0.828, "hybrid rebuild threshold (fraction of the SO bound)")
 		costsFlag = fs.String("costs", "0,1,5,20,100,500", "comma-separated per-migration costs to sweep")
+		workers   = fs.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
+		timeout   = fs.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +67,13 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	r := rng.New(*seed)
 	timeline := buildTimeline(r, *c, *events)
 	horizon := timeline[len(timeline)-1].Time + 1
@@ -67,14 +84,20 @@ func run(args []string, stdout io.Writer) error {
 		online.Incremental{},
 	}
 
+	// Every (policy, cost) simulation is independent; fan the whole grid
+	// out across the pool and collect results into slots keyed by grid
+	// position, so the printed tables do not depend on scheduling. The
+	// extra column 0 is the cost-0 summary table.
+	grid, err := simulateGrid(ctx, *workers, *m, *c, timeline, policies, costs, horizon)
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintf(stdout, "%d events over %.0f time units, m=%d, C=%g\n\n", *events, horizon, *m, *c)
 	base := tableio.New("policy summary (migration cost 0)",
 		"policy", "utility-integral", "migrations")
-	for _, p := range policies {
-		res, err := online.Simulate(*m, *c, timeline, p, 0, horizon)
-		if err != nil {
-			return err
-		}
+	for pi, p := range policies {
+		res := grid[pi][0]
 		base.AddRow(p.Name(),
 			fmt.Sprintf("%.1f", res.UtilityIntegral),
 			fmt.Sprintf("%d", res.Migrations))
@@ -88,18 +111,73 @@ func run(args []string, stdout io.Writer) error {
 		headers = append(headers, p.Name())
 	}
 	sweep := tableio.New("\nnet value = utility − cost × migrations", headers...)
-	for _, cost := range costs {
+	for ci, cost := range costs {
 		cells := []string{tableio.FormatFloat(cost, 1)}
-		for _, p := range policies {
-			res, err := online.Simulate(*m, *c, timeline, p, cost, horizon)
-			if err != nil {
-				return err
-			}
-			cells = append(cells, fmt.Sprintf("%.1f", res.Net))
+		for pi := range policies {
+			cells = append(cells, fmt.Sprintf("%.1f", grid[pi][ci+1].Net))
 		}
 		sweep.AddRow(cells...)
 	}
 	return sweep.WriteASCII(stdout)
+}
+
+// simulateGrid runs every (policy, cost) cell through a solver pool and
+// returns grid[policy][cell], where cell 0 is migration cost 0 (the
+// summary table) and cell ci+1 is costs[ci]. The first simulation error
+// cancels the remaining cells and is returned.
+func simulateGrid(ctx context.Context, workers, m int, c float64, timeline []online.Event, policies []online.Policy, costs []float64, horizon float64) ([][]online.Result, error) {
+	pool := solverpool.New(solverpool.Options{Workers: workers})
+	defer pool.Close()
+
+	grid := make([][]online.Result, len(policies))
+	for pi := range grid {
+		grid[pi] = make([]online.Result, len(costs)+1)
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(e error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = e
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for pi := range policies {
+		for cell := 0; cell <= len(costs); cell++ {
+			pi, cell := pi, cell
+			cost := 0.0
+			if cell > 0 {
+				cost = costs[cell-1]
+			}
+			wg.Add(1)
+			task := func(tctx context.Context) error {
+				defer wg.Done()
+				if err := tctx.Err(); err != nil {
+					fail(err)
+					return err
+				}
+				res, err := online.Simulate(m, c, timeline, policies[pi], cost, horizon)
+				if err != nil {
+					fail(err)
+					return err
+				}
+				grid[pi][cell] = res
+				return nil
+			}
+			if err := pool.Enqueue(gctx, task); err != nil {
+				wg.Done()
+				fail(err)
+			}
+		}
+	}
+	wg.Wait()
+	return grid, firstErr
 }
 
 // buildTimeline mirrors the churn generator used by the online tests.

@@ -36,6 +36,31 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// The parallel grid must print the same tables as a single worker.
+func TestRunSameOutputForAnyWorkerCount(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"-events", "30", "-seed", "5", "-costs", "0,10", "-workers", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-events", "30", "-seed", "5", "-costs", "0,10", "-workers", "8"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("-workers=8 output differs from -workers=1:\n--- 1 ---\n%s\n--- 8 ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+func TestRunTimeoutExpires(t *testing.T) {
+	var out bytes.Buffer
+	// The deadline expires while the first grid cells are in flight; the
+	// remaining cells are cancelled and the error propagates.
+	err := run([]string{"-events", "400", "-timeout", "1ms"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-costs", "zero"}, &out); err == nil {

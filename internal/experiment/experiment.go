@@ -4,19 +4,24 @@
 // against the super-optimal bound and the UU/UR/RU/RR heuristics, and
 // reports the mean per-trial utility ratios the figures plot.
 //
-// Trials run in parallel across goroutines but are bit-reproducible: each
-// trial derives its own generator from the experiment seed and the trial
-// index, so results do not depend on scheduling.
+// Trials fan out across an internal/solverpool worker pool but are
+// bit-reproducible: each trial derives its own generator from the
+// experiment seed and its (sweep point, trial) coordinates via
+// rng.SplitPath, and results are written to slots keyed by trial index,
+// so output never depends on goroutine scheduling or worker count.
+// Cancellation of the caller's context, or the first failing trial,
+// promptly aborts the remaining trials.
 package experiment
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"aa/internal/core"
 	"aa/internal/gen"
 	"aa/internal/rng"
+	"aa/internal/solverpool"
 	"aa/internal/stats"
 	"aa/internal/tableio"
 )
@@ -80,23 +85,31 @@ type Result struct {
 	Points []Point
 }
 
-// Run executes the spec with the given base seed. parallelism <= 0 uses
+// Run executes the spec with the given base seed. workers <= 0 uses
 // GOMAXPROCS. The result is deterministic in (spec, seed).
-func Run(spec Spec, seed uint64, parallelism int) (*Result, error) {
+func Run(spec Spec, seed uint64, workers int) (*Result, error) {
+	return RunContext(context.Background(), spec, seed, workers)
+}
+
+// RunContext is Run with cancellation: trials fan out across a
+// solverpool with the given worker count, and a cancelled or expired
+// ctx aborts the remaining trials promptly and returns ctx's error.
+// The result is deterministic in (spec, seed) — identical for every
+// worker count.
+func RunContext(ctx context.Context, spec Spec, seed uint64, workers int) (*Result, error) {
 	if spec.Trials <= 0 {
 		return nil, fmt.Errorf("experiment %s: nonpositive trial count", spec.ID)
 	}
 	if len(spec.Sweep) == 0 {
 		return nil, fmt.Errorf("experiment %s: empty sweep", spec.ID)
 	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
+	pool := solverpool.New(solverpool.Options{Workers: workers})
+	defer pool.Close()
 	base := rng.New(seed)
 	cols := spec.columns()
 	res := &Result{Spec: spec, Points: make([]Point, len(spec.Sweep))}
 	for pi, sp := range spec.Sweep {
-		nums, dens, err := runPoint(spec, sp, base.Split(uint64(pi)), parallelism)
+		nums, dens, err := runPoint(ctx, pool, spec, sp, base, pi)
 		if err != nil {
 			return nil, fmt.Errorf("experiment %s, %s=%g: %w", spec.ID, spec.ParamName, sp.Param, err)
 		}
@@ -122,16 +135,11 @@ func Run(spec Spec, seed uint64, parallelism int) (*Result, error) {
 	return res, nil
 }
 
-// trialValues holds one trial's ratio numerator and denominator per
-// column (numerator = the solver under test, denominator = the
-// competitor or bound).
-type trialValues struct {
-	idx      int
-	num, den map[string]float64
-	err      error
-}
-
-func runPoint(spec Spec, sp SweepPoint, pointRNG *rng.Rand, parallelism int) (nums, dens map[string][]float64, err error) {
+// runPoint fans the point's trials out across the pool. Trial t writes
+// its values into slot t of each column, so the aggregate is identical
+// for every worker count; the first trial error (or a dead ctx) cancels
+// the remaining trials and is returned.
+func runPoint(ctx context.Context, pool *solverpool.Pool, spec Spec, sp SweepPoint, base *rng.Rand, pi int) (nums, dens map[string][]float64, err error) {
 	cols := spec.columns()
 	nums = make(map[string][]float64, len(cols))
 	dens = make(map[string][]float64, len(cols))
@@ -140,41 +148,52 @@ func runPoint(spec Spec, sp SweepPoint, pointRNG *rng.Rand, parallelism int) (nu
 		dens[c] = make([]float64, spec.Trials)
 	}
 
-	jobs := make(chan int)
-	results := make(chan trialValues, parallelism)
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(e error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = e
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for t := 0; t < spec.Trials; t++ {
+		t := t
+		// Name the trial's stream by its coordinates so the draw sequence
+		// is a pure function of (seed, point, trial).
+		r := base.SplitPath(uint64(pi), uint64(t))
 		wg.Add(1)
-		go func() {
+		task := func(tctx context.Context) error {
 			defer wg.Done()
-			for t := range jobs {
-				num, den, err := runTrial(spec, sp, pointRNG.Split(uint64(t)))
-				results <- trialValues{idx: t, num: num, den: den, err: err}
+			if err := tctx.Err(); err != nil {
+				fail(err)
+				return err
 			}
-		}()
-	}
-	go func() {
-		for t := 0; t < spec.Trials; t++ {
-			jobs <- t
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
-
-	var firstErr error
-	for tr := range results {
-		if tr.err != nil {
-			if firstErr == nil {
-				firstErr = tr.err
+			num, den, err := runTrial(spec, sp, r)
+			if err != nil {
+				fail(err)
+				return err
 			}
-			continue
+			// Disjoint slots per trial: no lock needed.
+			for c, v := range num {
+				nums[c][t] = v
+				dens[c][t] = den[c]
+			}
+			return nil
 		}
-		for c := range tr.num {
-			nums[c][tr.idx] = tr.num[c]
-			dens[c][tr.idx] = tr.den[c]
+		if err := pool.Enqueue(pctx, task); err != nil {
+			wg.Done()
+			fail(err)
+			break
 		}
 	}
+	wg.Wait()
 	return nums, dens, firstErr
 }
 

@@ -1,8 +1,11 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 // shrink reduces a spec for fast unit testing: few trials, short sweep.
@@ -49,6 +52,52 @@ func TestRunDeterministicAcrossParallelism(t *testing.T) {
 				t.Errorf("point %d competitor %s: sequential %+v != parallel %+v", pi, c, a, b)
 			}
 		}
+	}
+}
+
+// The batch engine's determinism guarantee: the rendered experiment
+// output — every digit of every table — is identical whether the trials
+// run on one worker or eight.
+func TestRunOutputIdenticalSerialVsParallel(t *testing.T) {
+	spec := shrink(Fig3a(12), 12, 2)
+	serial, err := Run(spec, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(spec, 99, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := Render(parallel).String(), Render(serial).String(); got != want {
+		t.Errorf("workers=8 table differs from workers=1:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+	if got, want := RenderRoM(parallel).String(), RenderRoM(serial).String(); got != want {
+		t.Errorf("workers=8 RoM table differs from workers=1:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+}
+
+func TestRunContextCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, shrink(Fig1a(8), 8, 2), 1, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextDeadlinePrompt(t *testing.T) {
+	// A spec far too big to finish in a millisecond: the deadline must
+	// surface promptly rather than after the full sweep.
+	spec := Fig1a(2000)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, spec, 1, 4)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("RunContext took %v to notice the deadline", elapsed)
 	}
 }
 

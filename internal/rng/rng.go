@@ -47,6 +47,19 @@ func (r *Rand) Split(id uint64) *Rand {
 	return New(mixed)
 }
 
+// SplitPath derives a generator from a hierarchical path of ids, e.g.
+// base.SplitPath(point, trial) for trial number `trial` of sweep point
+// `point`. It is exactly Split applied left to right, packaged so
+// callers fanning work out across goroutines can name a stream by its
+// coordinates in one call; like Split it leaves the parent untouched.
+func (r *Rand) SplitPath(ids ...uint64) *Rand {
+	out := r
+	for _, id := range ids {
+		out = out.Split(id)
+	}
+	return out
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

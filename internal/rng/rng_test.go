@@ -67,6 +67,41 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestSplitPathEqualsNestedSplit(t *testing.T) {
+	a := New(7).SplitPath(3, 11, 2)
+	b := New(7).Split(3).Split(11).Split(2)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("SplitPath diverged from nested Split")
+		}
+	}
+	// Empty path is the identity stream.
+	c := New(7).SplitPath()
+	d := New(7)
+	if c.Uint64() != d.Uint64() {
+		t.Error("SplitPath() changed the stream")
+	}
+}
+
+func TestSplitPathIndependentAcrossPaths(t *testing.T) {
+	parent := New(21)
+	a := parent.SplitPath(1, 2)
+	b := parent.SplitPath(2, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("paths (1,2) and (2,1) overlap: %d/100", same)
+	}
+	// SplitPath must not advance the parent.
+	if parent.Uint64() != New(21).Uint64() {
+		t.Error("SplitPath advanced the parent stream")
+	}
+}
+
 func TestSplitDoesNotAdvanceParent(t *testing.T) {
 	a := New(9)
 	b := New(9)

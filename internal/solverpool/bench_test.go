@@ -1,0 +1,72 @@
+package solverpool
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"aa/internal/core"
+	"aa/internal/gen"
+	"aa/internal/rng"
+)
+
+// benchBatch is the large synthetic workload: many independent
+// mid-sized instances, the shape of a Monte-Carlo experiment sweep or a
+// batch of solve requests.
+func benchBatch(b *testing.B, batch, threads int) []*core.Instance {
+	b.Helper()
+	base := rng.New(99)
+	ins := make([]*core.Instance, batch)
+	for i := range ins {
+		in, err := gen.Instance(gen.DefaultUniform, 8, 1000, threads, base.Split(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ins[i] = in
+	}
+	return ins
+}
+
+// BenchmarkSolveBatch measures batch-solve throughput as the worker
+// count grows; on a multi-core machine throughput should scale well
+// past 2x from 1 to 8 workers.
+func BenchmarkSolveBatch(b *testing.B) {
+	ins := benchBatch(b, 64, 400)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := New(Options{Workers: workers, QueueDepth: len(ins)})
+			defer p.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.SolveBatch(context.Background(), ins); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := p.Snapshot()
+			b.ReportMetric(float64(st.Completed)/b.Elapsed().Seconds(), "solves/s")
+		})
+	}
+}
+
+// BenchmarkSolveSingle is the per-request overhead of going through the
+// pool versus calling core.Assign2 directly.
+func BenchmarkSolveSingle(b *testing.B) {
+	in := benchBatch(b, 1, 400)[0]
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Assign2(in)
+		}
+	})
+	b.Run("pool", func(b *testing.B) {
+		p := New(Options{Workers: 1})
+		defer p.Close()
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Solve(ctx, in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,341 @@
+// Package solverpool is the concurrency layer of the repository: a
+// worker-pool batch-solve engine that fans independent AA solves (and
+// arbitrary solver-shaped tasks) out across a fixed set of workers.
+//
+// Design points, in the order they matter:
+//
+//   - Bounded queue with backpressure. The job queue has a fixed depth;
+//     Submit rejects with ErrQueueFull when it is full rather than
+//     growing without bound, and Enqueue blocks until a slot frees or
+//     the caller's context is done. A caller that must not block uses
+//     Submit; a caller streaming a large batch uses Enqueue and lets the
+//     queue pace it.
+//
+//   - Per-request cancellation. Every job carries the submitter's
+//     context.Context. The solve path checks it before starting and
+//     between the stages of a solve (super-optimal bound →
+//     linearization → assignment), so cancellation and deadlines take
+//     effect promptly even mid-instance, and waiters never block on a
+//     dead request.
+//
+//   - Deterministic by construction. The pool imposes no ordering of its
+//     own: results are reported to the slot the caller chose (SolveBatch
+//     writes answers by input index), so output never depends on
+//     goroutine scheduling. Anything stochastic must derive its
+//     randomness from the request, not the worker (see internal/rng).
+//
+//   - Observable. A small atomic stats block counts submitted, rejected,
+//     completed, cancelled and failed jobs plus total solve time;
+//     Snapshot returns a consistent copy cheap enough to poll.
+package solverpool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aa/internal/core"
+)
+
+// Sentinel errors returned by submission.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity — the backpressure signal. The caller decides whether to
+	// retry, shed load, or switch to the blocking Enqueue.
+	ErrQueueFull = errors.New("solverpool: queue full")
+	// ErrClosed is returned when submitting to a closed pool.
+	ErrClosed = errors.New("solverpool: pool closed")
+)
+
+// Task is one unit of work. The context is the submitter's; a task that
+// honors it returns its error (context.Canceled / DeadlineExceeded) so
+// the pool can count the job as cancelled rather than failed.
+type Task func(ctx context.Context) error
+
+// Options configure a Pool. The zero value is usable: GOMAXPROCS
+// workers and a queue of twice that depth.
+type Options struct {
+	// Workers is the number of worker goroutines; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run (not counting
+	// the ones in flight); <= 0 means 2×Workers.
+	QueueDepth int
+}
+
+// Stats is a snapshot of the pool's counters. Submitted counts accepted
+// jobs only (rejected ones are counted separately and never run);
+// Completed + Cancelled + Failed converges to Submitted once the queue
+// drains. SolveTime is the summed wall time of task execution across
+// workers, so it can exceed elapsed time when workers run in parallel.
+type Stats struct {
+	Workers    int
+	QueueDepth int
+	Submitted  uint64
+	Rejected   uint64
+	Completed  uint64
+	Cancelled  uint64
+	Failed     uint64
+	SolveTime  time.Duration
+}
+
+type job struct {
+	ctx  context.Context
+	task Task
+}
+
+// Pool is a fixed-size worker pool over a bounded job queue. Create with
+// New, release with Close. All methods are safe for concurrent use.
+type Pool struct {
+	workers    int
+	queueDepth int
+	jobs       chan job
+
+	mu     sync.RWMutex // guards closed vs. sends on jobs
+	closed bool
+	wg     sync.WaitGroup
+
+	submitted  atomic.Uint64
+	rejected   atomic.Uint64
+	completed  atomic.Uint64
+	cancelled  atomic.Uint64
+	failed     atomic.Uint64
+	solveNanos atomic.Int64
+}
+
+// New starts a pool with opts. The caller owns the pool and must Close
+// it to release the workers.
+func New(opts Options) *Pool {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	q := opts.QueueDepth
+	if q <= 0 {
+		q = 2 * w
+	}
+	p := &Pool{
+		workers:    w,
+		queueDepth: q,
+		jobs:       make(chan job, q),
+	}
+	p.wg.Add(w)
+	for i := 0; i < w; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the number of worker goroutines.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		p.run(j)
+	}
+}
+
+// run executes one job and classifies its outcome. The task is always
+// invoked — even when its context died while queued — so that callers
+// waiting on a per-task side channel (a WaitGroup, a result slot) are
+// always released; tasks are expected to check ctx first and bail out
+// cheaply, as SolveInstance does.
+func (p *Pool) run(j job) {
+	start := time.Now()
+	err := j.task(j.ctx)
+	p.solveNanos.Add(int64(time.Since(start)))
+	switch {
+	case err == nil:
+		p.completed.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		p.cancelled.Add(1)
+	default:
+		p.failed.Add(1)
+	}
+}
+
+// Submit enqueues task without blocking. It returns ErrQueueFull when
+// the queue is at capacity, ErrClosed after Close, or ctx.Err() if the
+// request is already dead.
+func (p *Pool) Submit(ctx context.Context, task Task) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case p.jobs <- job{ctx: ctx, task: task}:
+		p.submitted.Add(1)
+		return nil
+	default:
+		p.rejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Enqueue enqueues task, blocking until a queue slot frees or ctx is
+// done. This is the paced path for batch producers; the queue bound is
+// what provides the backpressure.
+func (p *Pool) Enqueue(ctx context.Context, task Task) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.jobs <- job{ctx: ctx, task: task}:
+		p.submitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting jobs, waits for queued and in-flight jobs to
+// drain, and releases the workers. Closing twice is a no-op.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Snapshot returns the current counters.
+func (p *Pool) Snapshot() Stats {
+	return Stats{
+		Workers:    p.workers,
+		QueueDepth: p.queueDepth,
+		Submitted:  p.submitted.Load(),
+		Rejected:   p.rejected.Load(),
+		Completed:  p.completed.Load(),
+		Cancelled:  p.cancelled.Load(),
+		Failed:     p.failed.Load(),
+		SolveTime:  time.Duration(p.solveNanos.Load()),
+	}
+}
+
+// String formats a snapshot for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"solverpool: workers=%d queue=%d submitted=%d rejected=%d completed=%d cancelled=%d failed=%d solvetime=%v",
+		s.Workers, s.QueueDepth, s.Submitted, s.Rejected, s.Completed, s.Cancelled, s.Failed, s.SolveTime)
+}
+
+// SolveInstance runs Algorithm 2 on in with cancellation checks between
+// its three stages (super-optimal bound, linearization, assignment).
+// The result is identical to core.Assign2; the staging only adds the
+// points where a cancelled context can abort a large instance early.
+func SolveInstance(ctx context.Context, in *core.Instance) (core.Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return core.Assignment{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return core.Assignment{}, err
+	}
+	so := core.SuperOptimal(in)
+	if err := ctx.Err(); err != nil {
+		return core.Assignment{}, err
+	}
+	gs := core.Linearize(in, so)
+	if err := ctx.Err(); err != nil {
+		return core.Assignment{}, err
+	}
+	return core.Assign2Linearized(in, gs), nil
+}
+
+// Solve submits one instance and waits for its assignment. It returns
+// ctx.Err() as soon as the request is cancelled, even if a worker is
+// still chewing on the instance.
+func (p *Pool) Solve(ctx context.Context, in *core.Instance) (core.Assignment, error) {
+	type result struct {
+		a   core.Assignment
+		err error
+	}
+	ch := make(chan result, 1)
+	err := p.Enqueue(ctx, func(tctx context.Context) error {
+		a, err := SolveInstance(tctx, in)
+		ch <- result{a: a, err: err}
+		return err
+	})
+	if err != nil {
+		return core.Assignment{}, err
+	}
+	select {
+	case r := <-ch:
+		return r.a, r.err
+	case <-ctx.Done():
+		return core.Assignment{}, ctx.Err()
+	}
+}
+
+// SolveBatch fans the instances out across the pool and returns one
+// assignment per instance, in input order. The first failure cancels
+// every remaining solve and is returned; cancellation of ctx returns
+// promptly with ctx.Err() without waiting for in-flight workers.
+func (p *Pool) SolveBatch(ctx context.Context, ins []*core.Instance) ([]core.Assignment, error) {
+	if len(ins) == 0 {
+		return nil, nil
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		idx int
+		a   core.Assignment
+		err error
+	}
+	// Buffered to the batch size so late finishers never block after the
+	// caller has gone away.
+	results := make(chan result, len(ins))
+	go func() {
+		for i, in := range ins {
+			i, in := i, in
+			err := p.Enqueue(bctx, func(tctx context.Context) error {
+				a, err := SolveInstance(tctx, in)
+				results <- result{idx: i, a: a, err: err}
+				return err
+			})
+			if err != nil {
+				// Queue unreachable (cancelled batch or closed pool):
+				// report for this index and keep going — the remaining
+				// enqueues fail the same way without blocking.
+				results <- result{idx: i, err: err}
+			}
+		}
+	}()
+
+	out := make([]core.Assignment, len(ins))
+	var firstErr error
+	for range ins {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				if firstErr == nil {
+					firstErr = r.err
+				}
+				cancel()
+				continue
+			}
+			out[r.idx] = r.a
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,329 @@
+package solverpool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"aa/internal/core"
+	"aa/internal/gen"
+	"aa/internal/rng"
+)
+
+// testInstance draws a reproducible instance with n threads.
+func testInstance(t testing.TB, n int, seed uint64) *core.Instance {
+	t.Helper()
+	in, err := gen.Instance(gen.DefaultUniform, 8, 1000, n, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSolveMatchesAssign2(t *testing.T) {
+	p := New(Options{Workers: 4})
+	defer p.Close()
+	for seed := uint64(1); seed <= 5; seed++ {
+		in := testInstance(t, 40, seed)
+		got, err := p.Solve(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.Assign2(in)
+		if got.Utility(in) != want.Utility(in) {
+			t.Errorf("seed %d: pool utility %v != Assign2 %v", seed, got.Utility(in), want.Utility(in))
+		}
+		for i := range want.Server {
+			if got.Server[i] != want.Server[i] || got.Alloc[i] != want.Alloc[i] {
+				t.Fatalf("seed %d thread %d: pool (%d, %v) != Assign2 (%d, %v)",
+					seed, i, got.Server[i], got.Alloc[i], want.Server[i], want.Alloc[i])
+			}
+		}
+	}
+}
+
+func TestSolveBatchOrderAndDeterminism(t *testing.T) {
+	p := New(Options{Workers: 8})
+	defer p.Close()
+	ins := make([]*core.Instance, 30)
+	for i := range ins {
+		ins[i] = testInstance(t, 10+i, uint64(i)+1)
+	}
+	a, err := p.SolveBatch(context.Background(), ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.SolveBatch(context.Background(), ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(ins) {
+		t.Fatalf("got %d assignments, want %d", len(a), len(ins))
+	}
+	for i := range ins {
+		want := core.Assign2(ins[i])
+		if a[i].Utility(ins[i]) != want.Utility(ins[i]) {
+			t.Errorf("instance %d: batch utility %v != serial %v",
+				i, a[i].Utility(ins[i]), want.Utility(ins[i]))
+		}
+		if a[i].Utility(ins[i]) != b[i].Utility(ins[i]) {
+			t.Errorf("instance %d: two batch runs disagree", i)
+		}
+	}
+}
+
+func TestSolveBatchEmpty(t *testing.T) {
+	p := New(Options{})
+	defer p.Close()
+	out, err := p.SolveBatch(context.Background(), nil)
+	if err != nil || out != nil {
+		t.Errorf("empty batch: %v, %v", out, err)
+	}
+}
+
+func TestSolveBatchPropagatesInstanceError(t *testing.T) {
+	p := New(Options{Workers: 2})
+	defer p.Close()
+	ins := []*core.Instance{
+		testInstance(t, 10, 1),
+		{M: 0, C: 100}, // invalid: no servers, no threads
+		testInstance(t, 10, 2),
+	}
+	if _, err := p.SolveBatch(context.Background(), ins); err == nil {
+		t.Fatal("invalid instance did not fail the batch")
+	}
+}
+
+func TestSolveBatchCancelledPromptly(t *testing.T) {
+	p := New(Options{Workers: 2, QueueDepth: 2})
+	defer p.Close()
+	// Large instances so workers are busy well past the cancellation.
+	ins := make([]*core.Instance, 64)
+	for i := range ins {
+		ins[i] = testInstance(t, 4000, uint64(i)+1)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := p.SolveBatch(ctx, ins)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("SolveBatch took %v to notice cancellation", elapsed)
+	}
+}
+
+func TestSolveRespectsDeadline(t *testing.T) {
+	p := New(Options{Workers: 1, QueueDepth: 1})
+	defer p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	in := testInstance(t, 8000, 1)
+	_, err := p.Solve(ctx, in)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestSubmitBackpressure(t *testing.T) {
+	p := New(Options{Workers: 1, QueueDepth: 1})
+	defer p.Close()
+	release := make(chan struct{})
+	var done sync.WaitGroup
+	block := func(context.Context) error { <-release; return nil }
+	// Fill the single worker and the single queue slot.
+	done.Add(1)
+	if err := p.Submit(context.Background(), func(ctx context.Context) error {
+		defer done.Done()
+		return block(ctx)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The worker may not have picked the first job up yet; keep feeding
+	// until the queue slot is occupied for sure.
+	var queued int
+	for i := 0; i < 100; i++ {
+		err := p.Submit(context.Background(), func(ctx context.Context) error { return block(ctx) })
+		if err == nil {
+			queued++
+			continue
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("err = %v, want ErrQueueFull", err)
+		}
+		break
+	}
+	if queued > 2 {
+		t.Fatalf("queue of depth 1 accepted %d waiting jobs", queued)
+	}
+	st := p.Snapshot()
+	if st.Rejected == 0 {
+		t.Error("no rejections recorded under backpressure")
+	}
+	close(release)
+	done.Wait()
+}
+
+func TestEnqueueBlocksUntilCancelled(t *testing.T) {
+	p := New(Options{Workers: 1, QueueDepth: 1})
+	defer p.Close()
+	release := make(chan struct{})
+	defer close(release)
+	for i := 0; i < 2; i++ { // occupy worker + queue slot
+		if err := p.Enqueue(context.Background(), func(context.Context) error {
+			<-release
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := p.Enqueue(ctx, func(context.Context) error { return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestClosedPoolRejects(t *testing.T) {
+	p := New(Options{Workers: 1})
+	p.Close()
+	p.Close() // double close is a no-op
+	if err := p.Submit(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close: %v, want ErrClosed", err)
+	}
+	if err := p.Enqueue(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("Enqueue after Close: %v, want ErrClosed", err)
+	}
+	if _, err := p.Solve(context.Background(), testInstance(t, 5, 1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("Solve after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestSnapshotCounts(t *testing.T) {
+	p := New(Options{Workers: 4})
+	ins := make([]*core.Instance, 20)
+	for i := range ins {
+		ins[i] = testInstance(t, 12, uint64(i)+1)
+	}
+	if _, err := p.SolveBatch(context.Background(), ins); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if err := p.Enqueue(context.Background(), func(context.Context) error { return boom }); err != nil {
+		t.Fatal(err)
+	}
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	// Dead-on-arrival submissions are rejected before they reach the queue.
+	if err := p.Submit(cctx, func(context.Context) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit with dead ctx: %v", err)
+	}
+	p.Close() // drains the queue
+	st := p.Snapshot()
+	if st.Workers != 4 || st.QueueDepth != 8 {
+		t.Errorf("workers/queue = %d/%d, want 4/8", st.Workers, st.QueueDepth)
+	}
+	if st.Submitted != 21 {
+		t.Errorf("submitted = %d, want 21", st.Submitted)
+	}
+	if st.Completed != 20 {
+		t.Errorf("completed = %d, want 20", st.Completed)
+	}
+	if st.Failed != 1 {
+		t.Errorf("failed = %d, want 1", st.Failed)
+	}
+	if st.Completed+st.Cancelled+st.Failed != st.Submitted {
+		t.Errorf("counters do not add up: %+v", st)
+	}
+	if st.SolveTime <= 0 {
+		t.Errorf("solve time = %v, want > 0", st.SolveTime)
+	}
+	if s := st.String(); s == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestCancelledWhileQueuedCountsCancelled(t *testing.T) {
+	p := New(Options{Workers: 1, QueueDepth: 4})
+	release := make(chan struct{})
+	if err := p.Enqueue(context.Background(), func(context.Context) error {
+		<-release
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	solved := false
+	if err := p.Enqueue(ctx, func(tctx context.Context) error {
+		if err := tctx.Err(); err != nil {
+			return err
+		}
+		solved = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cancel() // dies while queued behind the blocker
+	close(release)
+	p.Close()
+	if solved {
+		t.Error("queued task did real work after its context was cancelled")
+	}
+	if st := p.Snapshot(); st.Cancelled != 1 {
+		t.Errorf("cancelled = %d, want 1 (%+v)", st.Cancelled, st)
+	}
+}
+
+func TestSolveInstanceValidates(t *testing.T) {
+	if _, err := SolveInstance(context.Background(), &core.Instance{M: 0, C: 1}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := testInstance(t, 10, 1)
+	if _, err := SolveInstance(cctx, in); !errors.Is(err, context.Canceled) {
+		t.Errorf("dead ctx: %v, want context.Canceled", err)
+	}
+}
+
+func TestConcurrentSubmittersRaceClean(t *testing.T) {
+	p := New(Options{Workers: 4, QueueDepth: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			in := testInstance(t, 20, uint64(g)+1)
+			for i := 0; i < 10; i++ {
+				if _, err := p.Solve(context.Background(), in); err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				_ = p.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.Close()
+	if st := p.Snapshot(); st.Completed != 80 {
+		t.Errorf("completed = %d, want 80", st.Completed)
+	}
+}
+
+func ExamplePool() {
+	p := New(Options{Workers: 2})
+	defer p.Close()
+	in := &core.Instance{M: 2, C: 100, Threads: nil}
+	_, err := p.Solve(context.Background(), in)
+	fmt.Println(err != nil) // invalid: no threads
+	// Output: true
+}
