@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmtcheck race fuzz-smoke bench-smoke ci bench figures examples cover clean
+.PHONY: all build test vet fmtcheck race fuzz-smoke bench-smoke telemetry-smoke metrics-smoke ci bench figures examples cover clean
 
 all: build vet fmtcheck test
 
@@ -32,8 +32,16 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+# Disabled/enabled telemetry cost on the Algorithm 2 pipeline.
+telemetry-smoke:
+	$(GO) test -run='^$$' -bench=TelemetryOverhead -benchtime=1x .
+
+# Live /metrics endpoint scrape against a running aabench.
+metrics-smoke:
+	./scripts/metrics_smoke.sh
+
 # Mirror of .github/workflows/ci.yml.
-ci: build vet fmtcheck race fuzz-smoke bench-smoke
+ci: build vet fmtcheck race fuzz-smoke bench-smoke telemetry-smoke metrics-smoke
 
 # One benchmark per paper figure/claim plus micro-benchmarks.
 bench:

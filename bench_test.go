@@ -23,6 +23,7 @@ import (
 	"aa/internal/gen"
 	"aa/internal/hosting"
 	"aa/internal/rng"
+	"aa/internal/telemetry"
 )
 
 const benchTrials = 30
@@ -319,4 +320,32 @@ func BenchmarkSuperOptimalN100(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		core.SuperOptimal(in)
 	}
+}
+
+// BenchmarkTelemetryOverhead runs the full Algorithm 2 pipeline at the
+// paper's n=100 shape with telemetry disabled and enabled. The disabled
+// sub-benchmark is the guarantee tracked by DESIGN.md §7: instrumenting
+// the solver must not slow down an uninstrumented process (budget <2%
+// versus the pre-telemetry baseline).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	r := rng.New(1)
+	in, err := gen.Instance(gen.DefaultUniform, 8, 1000, 100, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("disabled", func(b *testing.B) {
+		telemetry.Disable()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.Assign2(in)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		telemetry.Enable()
+		defer telemetry.Disable()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.Assign2(in)
+		}
+	})
 }

@@ -9,7 +9,8 @@
 //
 //	aabench [-fig all|fig1a|fig1b|fig2a|fig2b|fig3a|fig3b|fig3c|ext-ls]
 //	        [-ext] [-plot] [-trials 1000] [-seed 1] [-workers 0]
-//	        [-timeout 0] [-csv dir]
+//	        [-timeout 0] [-csv dir] [-v]
+//	        [-metrics-addr host:port] [-trace-out file.jsonl]
 //
 // Trials fan out across a solver pool with -workers goroutines
 // (0 = GOMAXPROCS); the tables are identical for every worker count.
@@ -18,6 +19,15 @@
 // additionally runs the extension experiments (e.g. ext-ls: local
 // search and greedy-marginal against the super-optimal bound) when
 // -fig all is selected.
+//
+// Observability: -metrics-addr serves live Prometheus text at
+// /metrics, expvar JSON at /vars and /debug/vars, and net/http/pprof
+// at /debug/pprof while the run executes (use :0 for an ephemeral
+// port; the bound address is printed to stderr). -trace-out appends
+// one JSONL span/event per solver stage and sweep point for offline
+// analysis. -v enables telemetry and prints a one-line summary (total
+// solves, p50/p99 solve latency, bisection iterations per solve) to
+// stderr at exit.
 package main
 
 import (
@@ -31,30 +41,34 @@ import (
 
 	"aa/internal/experiment"
 	"aa/internal/hetero"
+	"aa/internal/telemetry"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "aabench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // run is the testable body of the command.
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("aabench", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	var (
-		fig      = fs.String("fig", "all", "figure id to run, or 'all'")
-		trials   = fs.Int("trials", experiment.DefaultTrials, "random trials per sweep point")
-		seed     = fs.Uint64("seed", 1, "base random seed")
-		workers  = fs.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
-		parallel = fs.Int("parallel", 0, "deprecated alias for -workers")
-		timeout  = fs.Duration("timeout", 0, "overall deadline for the run (0 = none)")
-		csvDir   = fs.String("csv", "", "directory to write per-figure CSV files (optional)")
-		ext      = fs.Bool("ext", false, "with -fig all, also run the extension experiments")
-		plot     = fs.Bool("plot", false, "render each figure as an ASCII chart as well")
-		rom      = fs.Bool("rom", false, "also print the ratio-of-means estimator table")
+		fig         = fs.String("fig", "all", "figure id to run, or 'all'")
+		trials      = fs.Int("trials", experiment.DefaultTrials, "random trials per sweep point")
+		seed        = fs.Uint64("seed", 1, "base random seed")
+		workers     = fs.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
+		parallel    = fs.Int("parallel", 0, "deprecated alias for -workers")
+		timeout     = fs.Duration("timeout", 0, "overall deadline for the run (0 = none)")
+		csvDir      = fs.String("csv", "", "directory to write per-figure CSV files (optional)")
+		ext         = fs.Bool("ext", false, "with -fig all, also run the extension experiments")
+		plot        = fs.Bool("plot", false, "render each figure as an ASCII chart as well")
+		rom         = fs.Bool("rom", false, "also print the ratio-of-means estimator table")
+		verbose     = fs.Bool("v", false, "print a one-line telemetry summary to stderr at exit")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. localhost:0)")
+		traceOut    = fs.String("trace-out", "", "write telemetry span/event JSONL to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +76,20 @@ func run(args []string, stdout io.Writer) error {
 	if *workers == 0 {
 		*workers = *parallel
 	}
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format, a...) }
+	shutdownTelemetry, err := telemetry.Setup(*metricsAddr, *traceOut, logf)
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		telemetry.Enable()
+		defer printTelemetrySummary(stderr)
+	}
+	defer func() {
+		if err := shutdownTelemetry(); err != nil {
+			logf("aabench: telemetry shutdown: %v\n", err)
+		}
+	}()
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -133,6 +161,27 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// printTelemetrySummary writes the -v one-liner: total solves, p50/p99
+// solve latency, and mean bisection iterations per super-optimal solve,
+// all read from the process-wide telemetry registry.
+func printTelemetrySummary(stderr io.Writer) {
+	reg := telemetry.Default
+	solves := reg.Counter("aa_pool_completed_total").Value()
+	lat := reg.Histogram("aa_pool_solve_latency_seconds", telemetry.LatencyBuckets)
+	iters := reg.Counter("aa_core_bisection_iterations_total").Value()
+	calls := reg.Counter("aa_core_superopt_total").Value()
+	perSolve := 0.0
+	if calls > 0 {
+		perSolve = float64(iters) / float64(calls)
+	}
+	fmt.Fprintf(stderr,
+		"aabench: telemetry: solves=%d p50=%s p99=%s bisection_iters/solve=%.1f\n",
+		solves,
+		time.Duration(lat.Quantile(0.50)*float64(time.Second)).Round(time.Microsecond),
+		time.Duration(lat.Quantile(0.99)*float64(time.Second)).Round(time.Microsecond),
+		perSolve)
 }
 
 func writeCSV(dir, id string, res *experiment.Result) error {

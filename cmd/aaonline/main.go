@@ -10,11 +10,15 @@
 //
 //	aaonline [-m 4] [-c 100] [-events 300] [-seed 1]
 //	         [-threshold 0.828] [-costs 0,1,5,20,100,500]
-//	         [-workers 0] [-timeout 0]
+//	         [-workers 0] [-timeout 0] [-csv dir]
+//	         [-metrics-addr host:port] [-trace-out file.jsonl]
 //
 // The (policy × cost) simulation grid fans out across a solver pool
 // with -workers goroutines (0 = GOMAXPROCS); the tables are identical
-// for every worker count. -timeout bounds the whole run.
+// for every worker count. -timeout bounds the whole run. -csv writes
+// both tables as CSV files into the given directory. -metrics-addr
+// serves live /metrics, /vars and /debug/pprof while the simulation
+// runs; -trace-out appends solver-stage span events as JSONL.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -31,29 +36,33 @@ import (
 	"aa/internal/rng"
 	"aa/internal/solverpool"
 	"aa/internal/tableio"
+	"aa/internal/telemetry"
 	"aa/internal/utility"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "aaonline: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // run is the testable body of the command.
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("aaonline", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	var (
-		m         = fs.Int("m", 4, "number of servers")
-		c         = fs.Float64("c", 100, "capacity per server")
-		events    = fs.Int("events", 300, "number of churn events")
-		seed      = fs.Uint64("seed", 1, "random seed")
-		threshold = fs.Float64("threshold", 0.828, "hybrid rebuild threshold (fraction of the SO bound)")
-		costsFlag = fs.String("costs", "0,1,5,20,100,500", "comma-separated per-migration costs to sweep")
-		workers   = fs.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
-		timeout   = fs.Duration("timeout", 0, "overall deadline for the run (0 = none)")
+		m           = fs.Int("m", 4, "number of servers")
+		c           = fs.Float64("c", 100, "capacity per server")
+		events      = fs.Int("events", 300, "number of churn events")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		threshold   = fs.Float64("threshold", 0.828, "hybrid rebuild threshold (fraction of the SO bound)")
+		costsFlag   = fs.String("costs", "0,1,5,20,100,500", "comma-separated per-migration costs to sweep")
+		workers     = fs.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
+		timeout     = fs.Duration("timeout", 0, "overall deadline for the run (0 = none)")
+		csvDir      = fs.String("csv", "", "directory to write the summary and sweep tables as CSV (optional)")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. localhost:0)")
+		traceOut    = fs.String("trace-out", "", "write telemetry span/event JSONL to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +70,17 @@ func run(args []string, stdout io.Writer) error {
 	if *events < 1 {
 		return fmt.Errorf("need at least one event")
 	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format, a...) }
+	shutdownTelemetry, err := telemetry.Setup(*metricsAddr, *traceOut, logf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := shutdownTelemetry(); err != nil {
+			logf("aaonline: telemetry shutdown: %v\n", err)
+		}
+	}()
 
 	costs, err := parseCosts(*costsFlag)
 	if err != nil {
@@ -118,7 +138,36 @@ func run(args []string, stdout io.Writer) error {
 		}
 		sweep.AddRow(cells...)
 	}
-	return sweep.WriteASCII(stdout)
+	if err := sweep.WriteASCII(stdout); err != nil {
+		return err
+	}
+	if *csvDir != "" {
+		if err := writeCSV(*csvDir, "policy-summary", base); err != nil {
+			return err
+		}
+		if err := writeCSV(*csvDir, "net-value-sweep", sweep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCSV writes one table into dir/name.csv, propagating Close errors
+// the same way aabench does: the CSV is the artifact, and a failed
+// flush must not be dropped silently.
+func writeCSV(dir, name string, tbl *tableio.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := tbl.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // simulateGrid runs every (policy, cost) cell through a solver pool and

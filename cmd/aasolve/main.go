@@ -4,14 +4,17 @@
 // Usage:
 //
 //	aasolve [-algo a2|a1|a2p|ls|gm|exact|uu|ur|ru|rr] [-seed 1] [-json]
-//	        [-maxnodes 0] [file]
+//	        [-maxnodes 0] [-metrics-addr host:port] [-trace-out file.jsonl]
+//	        [file]
 //
 // With no file argument the instance is read from stdin. The default
 // output is a human-readable table; -json emits machine-readable JSON
 // including the super-optimal upper bound. Beyond the paper's
 // algorithms, a2p is Algorithm 2 + allocation polish and ls is
 // Algorithm 2 + relocation/swap local search; gm is the marginal-gain
-// greedy baseline.
+// greedy baseline. -metrics-addr serves live /metrics, /vars and
+// /debug/pprof while solving; -trace-out appends solver-stage span
+// events as JSONL (useful for profiling a single large instance).
 package main
 
 import (
@@ -24,28 +27,42 @@ import (
 	"aa/internal/instio"
 	"aa/internal/rng"
 	"aa/internal/tableio"
+	"aa/internal/telemetry"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "aasolve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // run is the testable body of the command.
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("aasolve", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	var (
-		algo     = fs.String("algo", "a2", "solver: a2, a1, a2p, ls, gm, exact, uu, ur, ru, rr")
-		seed     = fs.Uint64("seed", 1, "seed for the randomized heuristics")
-		asJSON   = fs.Bool("json", false, "emit the assignment as JSON")
-		maxNodes = fs.Int("maxnodes", 0, "node limit for -algo exact (0 = default)")
+		algo        = fs.String("algo", "a2", "solver: a2, a1, a2p, ls, gm, exact, uu, ur, ru, rr")
+		seed        = fs.Uint64("seed", 1, "seed for the randomized heuristics")
+		asJSON      = fs.Bool("json", false, "emit the assignment as JSON")
+		maxNodes    = fs.Int("maxnodes", 0, "node limit for -algo exact (0 = default)")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. localhost:0)")
+		traceOut    = fs.String("trace-out", "", "write telemetry span/event JSONL to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format, a...) }
+	shutdownTelemetry, err := telemetry.Setup(*metricsAddr, *traceOut, logf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := shutdownTelemetry(); err != nil {
+			logf("aasolve: telemetry shutdown: %v\n", err)
+		}
+	}()
 
 	var src io.Reader = stdin
 	if fs.NArg() > 0 {

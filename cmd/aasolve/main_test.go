@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 
@@ -22,7 +23,7 @@ const demoInstance = `{
 func TestRunAllAlgorithms(t *testing.T) {
 	for _, algo := range []string{"a2", "a1", "a2p", "ls", "gm", "exact", "uu", "ur", "ru", "rr"} {
 		var out bytes.Buffer
-		err := run([]string{"-algo", algo}, strings.NewReader(demoInstance), &out)
+		err := run([]string{"-algo", algo}, strings.NewReader(demoInstance), &out, io.Discard)
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -37,7 +38,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 
 func TestRunJSONOutput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-json"}, strings.NewReader(demoInstance), &out); err != nil {
+	if err := run([]string{"-json"}, strings.NewReader(demoInstance), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	var decoded instio.AssignmentJSON
@@ -55,7 +56,7 @@ func TestRunJSONOutput(t *testing.T) {
 func TestRunPolishedAtLeastRaw(t *testing.T) {
 	get := func(algo string) float64 {
 		var out bytes.Buffer
-		if err := run([]string{"-algo", algo, "-json"}, strings.NewReader(demoInstance), &out); err != nil {
+		if err := run([]string{"-algo", algo, "-json"}, strings.NewReader(demoInstance), &out, io.Discard); err != nil {
 			t.Fatal(err)
 		}
 		var decoded instio.AssignmentJSON
@@ -77,13 +78,13 @@ func TestRunPolishedAtLeastRaw(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-algo", "nope"}, strings.NewReader(demoInstance), &out); err == nil {
+	if err := run([]string{"-algo", "nope"}, strings.NewReader(demoInstance), &out, io.Discard); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run(nil, strings.NewReader("not json"), &out); err == nil {
+	if err := run(nil, strings.NewReader("not json"), &out, io.Discard); err == nil {
 		t.Error("garbage input accepted")
 	}
-	if err := run([]string{"missing-file.json"}, strings.NewReader(""), &out); err == nil {
+	if err := run([]string{"missing-file.json"}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -30,6 +30,12 @@ type Result struct {
 	// Lambda is the water-filling marginal value found by Concave
 	// (0 for allocators that do not compute one).
 	Lambda float64
+	// Iterations counts the λ-search steps Concave performed (doubling
+	// plus bisection; 0 for the trivial all-caps case and for other
+	// allocators). It is the empirical counterpart of the paper's
+	// O(n (log mC)²) bound and feeds the aa_core_bisection_iterations
+	// telemetry counter.
+	Iterations int
 }
 
 // TotalValue returns Σ f_i(alloc[i]).
@@ -80,8 +86,10 @@ func Concave(fs []utility.Func, budget float64) Result {
 
 	// Find hi with sumAt(hi) <= budget by doubling. λ = 0 gives capSum >
 	// budget, so the optimal λ is positive.
+	iterations := 0
 	lo, hi := 0.0, 1.0
 	for sumAt(fs, hi, alloc) > budget {
+		iterations++
 		lo = hi
 		hi *= 2
 		if hi > 1e18 {
@@ -92,6 +100,7 @@ func Concave(fs []utility.Func, budget float64) Result {
 	// Bisect λ. 100 iterations gives ~2^-100 relative precision, far past
 	// float64; we stop early once the interval is negligible.
 	for iter := 0; iter < 200 && hi-lo > 1e-15*(1+hi); iter++ {
+		iterations++
 		mid := 0.5 * (lo + hi)
 		if sumAt(fs, mid, alloc) > budget {
 			lo = mid
@@ -120,7 +129,7 @@ func Concave(fs []utility.Func, budget float64) Result {
 			remaining -= grant
 		}
 	}
-	return Result{Alloc: alloc, Total: TotalValue(fs, alloc), Lambda: hi}
+	return Result{Alloc: alloc, Total: TotalValue(fs, alloc), Lambda: hi, Iterations: iterations}
 }
 
 // Greedy is Fox's unit-greedy allocator: it repeatedly grants one unit of

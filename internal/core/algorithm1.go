@@ -21,6 +21,7 @@ func Assign1(in *Instance) Assignment {
 // utilities, letting callers share one super-optimal computation across
 // several algorithms (or drive adversarial linearizations in tests).
 func Assign1Linearized(in *Instance, gs []Linearized) Assignment {
+	start := stageStart()
 	n, m := in.N(), in.M
 	out := NewAssignment(n)
 	residual := make([]float64, m)
@@ -78,6 +79,15 @@ func Assign1Linearized(in *Instance, gs []Linearized) Assignment {
 		if residual[server] < 0 {
 			residual[server] = 0 // float guard
 		}
+	}
+	if !start.IsZero() {
+		metricAssign1Calls.Inc()
+		// One greedy pass per thread; each pass fit-checks every thread
+		// still unassigned against the fullest server, so the totals are
+		// exact without touching the loops above.
+		metricAssign1Passes.Add(uint64(n))
+		metricAssign1FitChecks.Add(uint64(n) * uint64(n+1) / 2)
+		stageEnd(start, metricAssign1Seconds, "core.assign1", n)
 	}
 	return out
 }

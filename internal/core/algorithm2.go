@@ -48,8 +48,13 @@ func Assign2TailOrder(in *Instance, tailOrder TailOrder) Assignment {
 }
 
 func assign2WithTailOrder(in *Instance, gs []Linearized, tailOrder TailOrder) Assignment {
+	start := stageStart()
 	n, m := in.N(), in.M
 	out := NewAssignment(n)
+
+	// Work counters, accumulated locally (a register increment next to a
+	// float compare) and flushed to the registry once at the end.
+	var sortCmps int
 
 	// Line 1: order all threads by g_i(ĉ_i), nonincreasing.
 	order := make([]int, n)
@@ -57,6 +62,7 @@ func assign2WithTailOrder(in *Instance, gs []Linearized, tailOrder TailOrder) As
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
+		sortCmps++
 		return gs[order[a]].UHat > gs[order[b]].UHat
 	})
 	// Line 2: re-sort the tail (threads m+1..n in that ordering).
@@ -65,10 +71,12 @@ func assign2WithTailOrder(in *Instance, gs []Linearized, tailOrder TailOrder) As
 		switch tailOrder {
 		case TailBySlope:
 			sort.SliceStable(tail, func(a, b int) bool {
+				sortCmps++
 				return gs[tail[a]].Slope() > gs[tail[b]].Slope()
 			})
 		case TailByCHatDesc:
 			sort.SliceStable(tail, func(a, b int) bool {
+				sortCmps++
 				return gs[tail[a]].CHat > gs[tail[b]].CHat
 			})
 		case TailByUHat:
@@ -90,6 +98,13 @@ func assign2WithTailOrder(in *Instance, gs []Linearized, tailOrder TailOrder) As
 		out.Alloc[i] = amount
 		h.updateTop(srv.residual - amount)
 	}
+	if !start.IsZero() {
+		metricAssign2Calls.Inc()
+		metricAssign2SortCmps.Add(uint64(sortCmps))
+		// n updateTop calls plus every sift-down swap they performed.
+		metricAssign2HeapOps.Add(uint64(n) + uint64(h.swaps))
+		stageEnd(start, metricAssign2Seconds, "core.assign2", n)
+	}
 	return out
 }
 
@@ -101,6 +116,7 @@ type serverEntry struct {
 
 type serverHeap struct {
 	entries []serverEntry
+	swaps   int // sift-down swaps, for the heap-operations telemetry
 }
 
 // newServerHeap builds a heap of m servers, all with residual c. All keys
@@ -134,6 +150,7 @@ func (h *serverHeap) updateTop(newResidual float64) {
 			return
 		}
 		h.entries[i], h.entries[largest] = h.entries[largest], h.entries[i]
+		h.swaps++
 		i = largest
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"aa/internal/alloc"
+	"aa/internal/telemetry"
 	"aa/internal/utility"
 )
 
@@ -186,7 +187,11 @@ func BranchAndBound(in *Instance, maxNodes int) (Assignment, error) {
 		}
 		return nil
 	}
-	if err := recurse(0); err != nil {
+	err := recurse(0)
+	if telemetry.Enabled() {
+		metricExactNodes.Add(uint64(nodes))
+	}
+	if err != nil {
 		return Assignment{}, err
 	}
 	return best, nil

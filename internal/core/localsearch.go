@@ -118,6 +118,7 @@ func PolishAllocations(in *Instance, a Assignment) Assignment {
 //
 // Returns the improved assignment and the number of moves applied.
 func Improve(in *Instance, a Assignment, maxMoves int) (Assignment, int) {
+	start := stageStart()
 	n, m := in.N(), in.M
 	if maxMoves <= 0 {
 		maxMoves = n * m
@@ -174,6 +175,10 @@ func Improve(in *Instance, a Assignment, maxMoves int) (Assignment, int) {
 	out := NewAssignment(n)
 	for j, group := range groups {
 		applyGroupAllocation(in, fs, group, j, &out)
+	}
+	if !start.IsZero() {
+		metricLocalSearchMoves.Add(uint64(moves))
+		stageEnd(start, metricLocalSearchSeconds, "core.localsearch", n)
 	}
 	return out, moves
 }

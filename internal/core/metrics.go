@@ -1,0 +1,70 @@
+package core
+
+import (
+	"time"
+
+	"aa/internal/telemetry"
+)
+
+// Solver-stage metrics (aa_core_*), registered once at init in the
+// process-wide telemetry registry. Recording is guarded by
+// telemetry.Enabled() at every call site, so the disabled path costs a
+// single atomic load per stage; work counters that would burden inner
+// loops are accumulated in locals (or derived arithmetically) and
+// flushed once per call.
+//
+// Naming scheme: aa_core_<stage>_<what>_total for work counters,
+// aa_core_<stage>_seconds for stage-latency histograms (see DESIGN.md
+// §7).
+var (
+	metricSuperOptCalls = telemetry.Default.Counter("aa_core_superopt_total")
+	// metricBisectIters is the λ-search step count of the super-optimal
+	// bound (Definition V.1): the observable behind the paper's
+	// O(n (log mC)²) complexity claim.
+	metricBisectIters    = telemetry.Default.Counter("aa_core_bisection_iterations_total")
+	metricLinearizeCalls = telemetry.Default.Counter("aa_core_linearize_total")
+
+	metricAssign1Calls = telemetry.Default.Counter("aa_core_assign1_total")
+	// Greedy passes are Algorithm 1's outer iterations (one per thread);
+	// fit-checks count how many (unassigned thread, fullest server)
+	// candidates its scans examined — the mn² term of Theorem V.16's
+	// runtime, n(n+1)/2 scans of the fullest server here.
+	metricAssign1Passes    = telemetry.Default.Counter("aa_core_assign1_greedy_passes_total")
+	metricAssign1FitChecks = telemetry.Default.Counter("aa_core_assign1_fit_checks_total")
+
+	metricAssign2Calls = telemetry.Default.Counter("aa_core_assign2_total")
+	// Sort comparisons (lines 1–2 of Algorithm 2) plus heap operations
+	// (one updateTop per thread plus every sift-down swap) — the
+	// observable behind the O(n log n + n log m) assignment phase.
+	metricAssign2SortCmps = telemetry.Default.Counter("aa_core_assign2_sort_comparisons_total")
+	metricAssign2HeapOps  = telemetry.Default.Counter("aa_core_assign2_heap_operations_total")
+
+	metricExactNodes       = telemetry.Default.Counter("aa_core_exact_nodes_total")
+	metricLocalSearchMoves = telemetry.Default.Counter("aa_core_localsearch_moves_total")
+
+	metricSuperOptSeconds    = telemetry.Default.Histogram("aa_core_superopt_seconds", telemetry.LatencyBuckets)
+	metricAssign1Seconds     = telemetry.Default.Histogram("aa_core_assign1_seconds", telemetry.LatencyBuckets)
+	metricAssign2Seconds     = telemetry.Default.Histogram("aa_core_assign2_seconds", telemetry.LatencyBuckets)
+	metricLocalSearchSeconds = telemetry.Default.Histogram("aa_core_localsearch_seconds", telemetry.LatencyBuckets)
+)
+
+// stageStart returns the stage start time when telemetry is on, the
+// zero time otherwise; stageEnd flushes the latency histogram and an
+// optional trace span. The pair keeps the time.Now calls off the
+// disabled path.
+func stageStart() time.Time {
+	if telemetry.Enabled() {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+func stageEnd(start time.Time, h *telemetry.Histogram, span string, n int) {
+	if start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+	if telemetry.TraceEnabled() {
+		telemetry.EmitSpan(span, start, telemetry.Int("n", n))
+	}
+}

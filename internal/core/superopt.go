@@ -2,6 +2,7 @@ package core
 
 import (
 	"aa/internal/alloc"
+	"aa/internal/telemetry"
 )
 
 // SuperOpt is the super-optimal relaxation of an AA instance
@@ -22,6 +23,7 @@ type SuperOpt struct {
 // (λ-bisection) over the pooled budget m·C, the same structure as the
 // O(n (log mC)²) algorithm of Galil cited by the paper.
 func SuperOptimal(in *Instance) SuperOpt {
+	start := stageStart()
 	fs := cappedThreads(in)
 	budget := float64(in.M) * in.C
 	res := alloc.Concave(fs, budget)
@@ -32,6 +34,11 @@ func SuperOptimal(in *Instance) SuperOpt {
 	}
 	for i, f := range fs {
 		so.Value[i] = f.Value(res.Alloc[i])
+	}
+	if !start.IsZero() {
+		metricSuperOptCalls.Inc()
+		metricBisectIters.Add(uint64(res.Iterations))
+		stageEnd(start, metricSuperOptSeconds, "core.superopt", in.N())
 	}
 	return so
 }
@@ -93,6 +100,9 @@ func Linearize(in *Instance, so SuperOpt) []Linearized {
 	gs := make([]Linearized, in.N())
 	for i := range gs {
 		gs[i] = Linearized{UHat: so.Value[i], CHat: so.Alloc[i], C: in.C}
+	}
+	if telemetry.Enabled() {
+		metricLinearizeCalls.Inc()
 	}
 	return gs
 }

@@ -16,6 +16,7 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"aa/internal/core"
@@ -24,6 +25,7 @@ import (
 	"aa/internal/solverpool"
 	"aa/internal/stats"
 	"aa/internal/tableio"
+	"aa/internal/telemetry"
 )
 
 // Competitors compared against Algorithm 2, in report order. SO is the
@@ -109,7 +111,22 @@ func RunContext(ctx context.Context, spec Spec, seed uint64, workers int) (*Resu
 	cols := spec.columns()
 	res := &Result{Spec: spec, Points: make([]Point, len(spec.Sweep))}
 	for pi, sp := range spec.Sweep {
+		// Tag telemetry per figure/point: one span per sweep position, a
+		// per-figure point counter, and (inside runPoint) a per-point
+		// trial counter — all labeled so a /metrics scrape or a trace
+		// file attributes solver work to the figure that caused it.
+		var span telemetry.Span
+		if telemetry.TraceEnabled() {
+			span = telemetry.StartSpan("experiment.point",
+				telemetry.String("fig", spec.ID),
+				telemetry.Float("param", sp.Param),
+				telemetry.Int("n", sp.N))
+		}
+		if telemetry.Enabled() {
+			telemetry.Default.Counter(telemetry.Label("aa_experiment_points_total", "fig", spec.ID)).Inc()
+		}
 		nums, dens, err := runPoint(ctx, pool, spec, sp, base, pi)
+		span.End()
 		if err != nil {
 			return nil, fmt.Errorf("experiment %s, %s=%g: %w", spec.ID, spec.ParamName, sp.Param, err)
 		}
@@ -148,6 +165,16 @@ func runPoint(ctx context.Context, pool *solverpool.Pool, spec Spec, sp SweepPoi
 		dens[c] = make([]float64, spec.Trials)
 	}
 
+	// One labeled counter per (figure, sweep position); looked up once
+	// here, incremented per finished trial inside the tasks.
+	var trialsDone *telemetry.Counter
+	if telemetry.Enabled() {
+		trialsDone = telemetry.Default.Counter(telemetry.Label(
+			"aa_experiment_trials_total",
+			"fig", spec.ID,
+			"param", strconv.FormatFloat(sp.Param, 'g', -1, 64)))
+	}
+
 	pctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -184,6 +211,9 @@ func runPoint(ctx context.Context, pool *solverpool.Pool, spec Spec, sp SweepPoi
 			for c, v := range num {
 				nums[c][t] = v
 				dens[c][t] = den[c]
+			}
+			if trialsDone != nil {
+				trialsDone.Inc()
 			}
 			return nil
 		}

@@ -24,9 +24,13 @@
 //     goroutine scheduling. Anything stochastic must derive its
 //     randomness from the request, not the worker (see internal/rng).
 //
-//   - Observable. A small atomic stats block counts submitted, rejected,
-//     completed, cancelled and failed jobs plus total solve time;
-//     Snapshot returns a consistent copy cheap enough to poll.
+//   - Observable. Per-pool counters (telemetry.Counter values) count
+//     submitted, rejected, completed, cancelled and failed jobs plus
+//     total solve time; Snapshot returns a consistent copy cheap enough
+//     to poll. The same events also feed the process-wide telemetry
+//     registry (aa_pool_* metrics: shared counters, a live queue-depth
+//     gauge, and enqueue/solve latency histograms) when telemetry is
+//     enabled, so a /metrics endpoint sees every pool in the process.
 package solverpool
 
 import (
@@ -35,10 +39,27 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"aa/internal/core"
+	"aa/internal/telemetry"
+)
+
+// Process-wide pool metrics (aa_pool_*). Counters and histograms
+// aggregate across every pool in the process and are recorded only when
+// telemetry is enabled; the queue-depth gauge tracks jobs accepted but
+// not yet picked up by a worker and is maintained unconditionally (two
+// atomic adds per job) so that enabling telemetry mid-run still reads a
+// correct depth.
+var (
+	poolSubmitted  = telemetry.Default.Counter("aa_pool_submitted_total")
+	poolRejected   = telemetry.Default.Counter("aa_pool_rejected_total")
+	poolCompleted  = telemetry.Default.Counter("aa_pool_completed_total")
+	poolCancelled  = telemetry.Default.Counter("aa_pool_cancelled_total")
+	poolFailed     = telemetry.Default.Counter("aa_pool_failed_total")
+	poolQueueDepth = telemetry.Default.Gauge("aa_pool_queue_depth")
+	poolEnqueueLat = telemetry.Default.Histogram("aa_pool_enqueue_latency_seconds", telemetry.LatencyBuckets)
+	poolSolveLat   = telemetry.Default.Histogram("aa_pool_solve_latency_seconds", telemetry.LatencyBuckets)
 )
 
 // Sentinel errors returned by submission.
@@ -67,11 +88,29 @@ type Options struct {
 	QueueDepth int
 }
 
-// Stats is a snapshot of the pool's counters. Submitted counts accepted
-// jobs only (rejected ones are counted separately and never run);
-// Completed + Cancelled + Failed converges to Submitted once the queue
-// drains. SolveTime is the summed wall time of task execution across
-// workers, so it can exceed elapsed time when workers run in parallel.
+// Stats is a snapshot of the pool's counters — the per-pool
+// compatibility facade over the telemetry layer (the process-wide
+// aa_pool_* registry metrics aggregate the same events across every
+// pool). Submitted counts accepted jobs only (rejected ones are counted
+// separately and never run); Completed + Cancelled + Failed converges
+// to Submitted once the queue drains. SolveTime is the summed wall time
+// of task execution across workers, so it can exceed elapsed time when
+// workers run in parallel.
+//
+// Outcome classification is by the error the task RETURNS, decided at
+// the moment the task finishes — not by the state of its context:
+//
+//   - Completed increments when the task returns nil, even if its
+//     context was cancelled while it ran (a task that ignores
+//     cancellation, or wins the race with it, counts Completed).
+//   - Cancelled increments when the task returns context.Canceled or
+//     context.DeadlineExceeded (possibly wrapped). Tasks whose context
+//     died while they were still queued also land here, because the
+//     worker always invokes the task and a well-behaved task returns
+//     ctx.Err() from its first check, as SolveInstance does.
+//   - Failed increments for every other non-nil error; a task that
+//     swallows a cancellation and returns its own error is Failed, not
+//     Cancelled.
 type Stats struct {
 	Workers    int
 	QueueDepth int
@@ -99,12 +138,15 @@ type Pool struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	submitted  atomic.Uint64
-	rejected   atomic.Uint64
-	completed  atomic.Uint64
-	cancelled  atomic.Uint64
-	failed     atomic.Uint64
-	solveNanos atomic.Int64
+	// Per-pool counters backing Snapshot — telemetry metric values held
+	// privately (zero values are ready to use). solveNanos accumulates
+	// task wall time in nanoseconds.
+	submitted  telemetry.Counter
+	rejected   telemetry.Counter
+	completed  telemetry.Counter
+	cancelled  telemetry.Counter
+	failed     telemetry.Counter
+	solveNanos telemetry.Counter
 }
 
 // New starts a pool with opts. The caller owns the pool and must Close
@@ -140,22 +182,38 @@ func (p *Pool) worker() {
 	}
 }
 
-// run executes one job and classifies its outcome. The task is always
-// invoked — even when its context died while queued — so that callers
-// waiting on a per-task side channel (a WaitGroup, a result slot) are
-// always released; tasks are expected to check ctx first and bail out
-// cheaply, as SolveInstance does.
+// run executes one job and classifies its outcome by the error the task
+// returns (see the Stats docs for the exact Completed/Cancelled/Failed
+// contract). The task is always invoked — even when its context died
+// while queued — so that callers waiting on a per-task side channel (a
+// WaitGroup, a result slot) are always released; tasks are expected to
+// check ctx first and bail out cheaply, as SolveInstance does.
 func (p *Pool) run(j job) {
+	poolQueueDepth.Add(-1)
 	start := time.Now()
 	err := j.task(j.ctx)
-	p.solveNanos.Add(int64(time.Since(start)))
+	elapsed := time.Since(start)
+	p.solveNanos.Add(uint64(elapsed))
+	tele := telemetry.Enabled()
+	if tele {
+		poolSolveLat.Observe(elapsed.Seconds())
+	}
 	switch {
 	case err == nil:
-		p.completed.Add(1)
+		p.completed.Inc()
+		if tele {
+			poolCompleted.Inc()
+		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		p.cancelled.Add(1)
+		p.cancelled.Inc()
+		if tele {
+			poolCancelled.Inc()
+		}
 	default:
-		p.failed.Add(1)
+		p.failed.Inc()
+		if tele {
+			poolFailed.Inc()
+		}
 	}
 }
 
@@ -173,10 +231,20 @@ func (p *Pool) Submit(ctx context.Context, task Task) error {
 	}
 	select {
 	case p.jobs <- job{ctx: ctx, task: task}:
-		p.submitted.Add(1)
+		p.submitted.Inc()
+		poolQueueDepth.Add(1)
+		if telemetry.Enabled() {
+			poolSubmitted.Inc()
+		}
 		return nil
 	default:
-		p.rejected.Add(1)
+		p.rejected.Inc()
+		if telemetry.Enabled() {
+			poolRejected.Inc()
+			if telemetry.TraceEnabled() {
+				telemetry.Event("pool.reject")
+			}
+		}
 		return ErrQueueFull
 	}
 }
@@ -190,9 +258,21 @@ func (p *Pool) Enqueue(ctx context.Context, task Task) error {
 	if p.closed {
 		return ErrClosed
 	}
+	// The blocking wait below IS the backpressure; its duration is the
+	// enqueue-latency histogram. time.Now stays off the disabled path.
+	tele := telemetry.Enabled()
+	var start time.Time
+	if tele {
+		start = time.Now()
+	}
 	select {
 	case p.jobs <- job{ctx: ctx, task: task}:
-		p.submitted.Add(1)
+		p.submitted.Inc()
+		poolQueueDepth.Add(1)
+		if tele {
+			poolSubmitted.Inc()
+			poolEnqueueLat.Observe(time.Since(start).Seconds())
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -213,17 +293,19 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 }
 
-// Snapshot returns the current counters.
+// Snapshot returns the current counters for this pool. (For
+// process-wide aggregates across all pools, scrape the aa_pool_*
+// metrics from the telemetry registry instead.)
 func (p *Pool) Snapshot() Stats {
 	return Stats{
 		Workers:    p.workers,
 		QueueDepth: p.queueDepth,
-		Submitted:  p.submitted.Load(),
-		Rejected:   p.rejected.Load(),
-		Completed:  p.completed.Load(),
-		Cancelled:  p.cancelled.Load(),
-		Failed:     p.failed.Load(),
-		SolveTime:  time.Duration(p.solveNanos.Load()),
+		Submitted:  p.submitted.Value(),
+		Rejected:   p.rejected.Value(),
+		Completed:  p.completed.Value(),
+		Cancelled:  p.cancelled.Value(),
+		Failed:     p.failed.Value(),
+		SolveTime:  time.Duration(p.solveNanos.Value()),
 	}
 }
 

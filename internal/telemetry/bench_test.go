@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEnabledCheck is the cost every instrumented region pays when
+// telemetry is off: one atomic load and a branch.
+func BenchmarkEnabledCheck(b *testing.B) {
+	Disable()
+	var n int
+	for i := 0; i < b.N; i++ {
+		if Enabled() {
+			n++
+		}
+	}
+	if n != 0 {
+		b.Fatal("telemetry unexpectedly enabled")
+	}
+}
+
+// BenchmarkCounterAdd is the enabled-path cost of a counter update.
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+	if c.Value() != uint64(b.N) {
+		b.Fatal("miscount")
+	}
+}
+
+// BenchmarkHistogramObserve is the enabled-path cost of one latency
+// observation against the default bucket layout.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(LatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-5)
+	}
+}
+
+// BenchmarkGuardedObserve is the full hot-path pattern the solver uses:
+// check, time, observe — compared against BenchmarkEnabledCheck it
+// shows what flipping the switch costs.
+func BenchmarkGuardedObserve(b *testing.B) {
+	Enable()
+	defer Disable()
+	h := NewHistogram(LatencyBuckets)
+	c := new(Counter)
+	for i := 0; i < b.N; i++ {
+		if Enabled() {
+			start := time.Now()
+			c.Inc()
+			h.Observe(time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The trace sink is process-wide, like the registry: spans and events
+// append JSONL records to the writer installed with SetTraceWriter.
+// Writes are serialized by a mutex; with no writer installed, StartSpan
+// and Event are a single atomic pointer load.
+
+type traceSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+}
+
+var sink atomic.Pointer[traceSink]
+
+// SetTraceWriter installs w as the JSONL trace destination (nil
+// removes it). The caller owns w and closes it after removing it here.
+func SetTraceWriter(w io.Writer) {
+	if w == nil {
+		sink.Store(nil)
+		return
+	}
+	sink.Store(&traceSink{w: w, enc: json.NewEncoder(w)})
+}
+
+// TraceEnabled reports whether a trace writer is installed. Hot paths
+// guard span creation behind it.
+func TraceEnabled() bool { return sink.Load() != nil }
+
+// Attr is one key/value attribute on a span or event.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Val: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Val: v} }
+
+// Float builds a float attribute.
+func Float(k string, v float64) Attr { return Attr{Key: k, Val: v} }
+
+// record is the JSONL schema shared by spans and events. Times are
+// Unix microseconds; Dur is microseconds and present only on spans.
+type record struct {
+	Type  string         `json:"type"` // "span" or "event"
+	Name  string         `json:"name"`
+	TS    int64          `json:"ts_us"`
+	Dur   float64        `json:"dur_us,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+func emit(rec record) {
+	s := sink.Load()
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Encode ignores errors deliberately: a full disk must not take the
+	// solver down, and there is no caller to report to mid-solve.
+	_ = s.enc.Encode(rec)
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// Span is an in-flight trace span. The zero Span (returned when tracing
+// is off) is inert: End is a no-op.
+type Span struct {
+	name  string
+	start time.Time
+	attrs []Attr
+}
+
+// StartSpan opens a span. Callers on hot paths should guard with
+// TraceEnabled() to avoid constructing the attrs slice when tracing is
+// off; StartSpan itself also returns an inert span in that case.
+func StartSpan(name string, attrs ...Attr) Span {
+	if sink.Load() == nil {
+		return Span{}
+	}
+	return Span{name: name, start: time.Now(), attrs: attrs}
+}
+
+// End closes the span and appends its JSONL record.
+func (s Span) End() {
+	if s.start.IsZero() {
+		return
+	}
+	emit(record{
+		Type:  "span",
+		Name:  s.name,
+		TS:    s.start.UnixMicro(),
+		Dur:   float64(time.Since(s.start).Nanoseconds()) / 1e3,
+		Attrs: attrMap(s.attrs),
+	})
+}
+
+// EmitSpan appends a span record for a region that began at start,
+// for callers that track the start time themselves (the solver stages
+// do, to share one time.Now with their latency histograms).
+func EmitSpan(name string, start time.Time, attrs ...Attr) {
+	if sink.Load() == nil {
+		return
+	}
+	emit(record{
+		Type:  "span",
+		Name:  name,
+		TS:    start.UnixMicro(),
+		Dur:   float64(time.Since(start).Nanoseconds()) / 1e3,
+		Attrs: attrMap(attrs),
+	})
+}
+
+// Event appends an instantaneous JSONL event.
+func Event(name string, attrs ...Attr) {
+	if sink.Load() == nil {
+		return
+	}
+	emit(record{
+		Type:  "event",
+		Name:  name,
+		TS:    time.Now().UnixMicro(),
+		Attrs: attrMap(attrs),
+	})
+}
