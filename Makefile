@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmtcheck race fuzz-smoke bench-smoke telemetry-smoke metrics-smoke ci bench figures examples cover clean
+.PHONY: all build test vet fmtcheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke ci bench figures examples cover clean
 
 all: build vet fmtcheck test
 
@@ -24,9 +24,18 @@ fmtcheck:
 race:
 	$(GO) test -race ./...
 
-# Ten seconds of fuzzing against the concave-allocation invariants.
+# Differential-verification harness over every figure workload, plus the
+# solver invariant property tests (mirrors the CI check-smoke step).
+check-smoke:
+	$(GO) test -run='TestDifferential|TestSolversSatisfyInvariants' -count=1 ./internal/check
+
+# Ten seconds of fuzzing per target: the concave-allocation invariants
+# and the two check-layer targets (go test allows one -fuzz match per
+# invocation, hence the separate runs).
 fuzz-smoke:
-	$(GO) test -run='^$$' -fuzz=Fuzz -fuzztime=10s ./internal/alloc
+	$(GO) test -run='^$$' -fuzz=FuzzConcaveFeasibleAndDominant -fuzztime=10s ./internal/alloc
+	$(GO) test -run='^$$' -fuzz=FuzzFeasibleConcave -fuzztime=10s ./internal/check
+	$(GO) test -run='^$$' -fuzz=FuzzDifferentialAssign -fuzztime=10s ./internal/check
 
 # Every benchmark compiled and run once.
 bench-smoke:
@@ -41,7 +50,7 @@ metrics-smoke:
 	./scripts/metrics_smoke.sh
 
 # Mirror of .github/workflows/ci.yml.
-ci: build vet fmtcheck race fuzz-smoke bench-smoke telemetry-smoke metrics-smoke
+ci: build vet fmtcheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke
 
 # One benchmark per paper figure/claim plus micro-benchmarks.
 bench:

@@ -40,6 +40,7 @@ package aa
 import (
 	"context"
 
+	"aa/internal/check"
 	"aa/internal/core"
 	"aa/internal/experiment"
 	"aa/internal/gen"
@@ -194,6 +195,50 @@ func SolveBatch(ctx context.Context, ins []*Instance) ([]Assignment, error) {
 	defer p.Close()
 	return p.SolveBatch(ctx, ins)
 }
+
+// Verification (internal/check): opt-in invariant checking for solver
+// outputs. Verify enforces strict feasibility (thread caps included,
+// unlike Assignment.Validate); VerifyRatio measures F against the
+// super-optimal bound F̂ and its CheckAlpha/CheckBound methods flag
+// violations of the proven guarantees. EnableChecks turns on
+// process-wide post-solve verification in SolverPool, SolveBatch, the
+// experiment harness and the online simulator — the library form of the
+// CLIs' -check flag. Outcomes are counted in the aa_check_total and
+// aa_check_violations_total telemetry metrics.
+
+// CheckReport is the F/F̂ ratio report returned by VerifyRatio.
+type CheckReport = check.RatioReport
+
+// Typed verification errors, for errors.Is classification.
+var (
+	// ErrInfeasible wraps every feasibility violation found by Verify or
+	// a checked solve.
+	ErrInfeasible = check.ErrInfeasible
+	// ErrRatioViolation wraps every approximation-ratio violation.
+	ErrRatioViolation = check.ErrRatio
+)
+
+// Verify checks an assignment against the hard constraints of the AA
+// problem: valid servers, finite nonnegative allocations within each
+// thread's cap, and per-server loads within C(1+eps). eps <= 0 uses the
+// default tolerance (1e-6).
+func Verify(in *Instance, a Assignment, eps float64) error {
+	return check.Feasible(in, a, eps)
+}
+
+// VerifyRatio computes the assignment's utility F against a freshly
+// computed super-optimal bound F̂.
+func VerifyRatio(in *Instance, a Assignment) CheckReport {
+	return check.Ratio(in, a)
+}
+
+// EnableChecks turns on process-wide post-solve verification; a solve
+// whose result violates feasibility or the α guarantee then fails with
+// ErrInfeasible or ErrRatioViolation instead of returning the result.
+func EnableChecks() { check.Enable() }
+
+// DisableChecks turns process-wide verification back off.
+func DisableChecks() { check.Disable() }
 
 // Rand is the deterministic random generator used by the stochastic
 // heuristics and the workload generator.

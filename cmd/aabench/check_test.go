@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aa/internal/check"
+)
+
+func TestRunCheckedFigure(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-fig", "fig2b", "-trials", "3", "-check"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("checked figure run failed: %v", err)
+	}
+	if !strings.Contains(errOut.String(), "check:") {
+		t.Errorf("missing check summary, stderr: %q", errOut.String())
+	}
+	if strings.Contains(errOut.String(), "0 checks") {
+		t.Errorf("check summary reports no checks ran: %q", errOut.String())
+	}
+	if check.Enabled() {
+		t.Error("run left process-wide checking enabled")
+	}
+}
+
+func TestRunCheckEnvVar(t *testing.T) {
+	t.Setenv("AA_CHECK", "1")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-fig", "fig1a", "-trials", "2"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "check:") {
+		t.Errorf("AA_CHECK=1 did not trigger checking, stderr: %q", errOut.String())
+	}
+}

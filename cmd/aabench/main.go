@@ -9,7 +9,7 @@
 //
 //	aabench [-fig all|fig1a|fig1b|fig2a|fig2b|fig3a|fig3b|fig3c|ext-ls]
 //	        [-ext] [-plot] [-trials 1000] [-seed 1] [-workers 0]
-//	        [-timeout 0] [-csv dir] [-v]
+//	        [-timeout 0] [-csv dir] [-v] [-check]
 //	        [-metrics-addr host:port] [-trace-out file.jsonl]
 //
 // Trials fan out across a solver pool with -workers goroutines
@@ -28,6 +28,11 @@
 // analysis. -v enables telemetry and prints a one-line summary (total
 // solves, p50/p99 solve latency, bisection iterations per solve) to
 // stderr at exit.
+//
+// -check (or AA_CHECK=1) verifies every trial through internal/check —
+// feasibility for each solver's assignment, the α-ratio guarantee for
+// Assign1/Assign2 and the F ≤ F̂ bound for the heuristics — failing the
+// run on the first violation and printing a check summary at exit.
 package main
 
 import (
@@ -39,6 +44,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"aa/internal/check"
 	"aa/internal/experiment"
 	"aa/internal/hetero"
 	"aa/internal/telemetry"
@@ -56,17 +62,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("aabench", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	var (
-		fig         = fs.String("fig", "all", "figure id to run, or 'all'")
-		trials      = fs.Int("trials", experiment.DefaultTrials, "random trials per sweep point")
-		seed        = fs.Uint64("seed", 1, "base random seed")
-		workers     = fs.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
-		parallel    = fs.Int("parallel", 0, "deprecated alias for -workers")
-		timeout     = fs.Duration("timeout", 0, "overall deadline for the run (0 = none)")
-		csvDir      = fs.String("csv", "", "directory to write per-figure CSV files (optional)")
-		ext         = fs.Bool("ext", false, "with -fig all, also run the extension experiments")
-		plot        = fs.Bool("plot", false, "render each figure as an ASCII chart as well")
-		rom         = fs.Bool("rom", false, "also print the ratio-of-means estimator table")
-		verbose     = fs.Bool("v", false, "print a one-line telemetry summary to stderr at exit")
+		fig      = fs.String("fig", "all", "figure id to run, or 'all'")
+		trials   = fs.Int("trials", experiment.DefaultTrials, "random trials per sweep point")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		workers  = fs.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
+		parallel = fs.Int("parallel", 0, "deprecated alias for -workers")
+		timeout  = fs.Duration("timeout", 0, "overall deadline for the run (0 = none)")
+		csvDir   = fs.String("csv", "", "directory to write per-figure CSV files (optional)")
+		ext      = fs.Bool("ext", false, "with -fig all, also run the extension experiments")
+		plot     = fs.Bool("plot", false, "render each figure as an ASCII chart as well")
+		rom      = fs.Bool("rom", false, "also print the ratio-of-means estimator table")
+		verbose  = fs.Bool("v", false, "print a one-line telemetry summary to stderr at exit")
+		doCheck  = fs.Bool("check", os.Getenv("AA_CHECK") == "1",
+			"verify every trial's solver outputs (also AA_CHECK=1)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. localhost:0)")
 		traceOut    = fs.String("trace-out", "", "write telemetry span/event JSONL to this file")
 	)
@@ -84,6 +92,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *verbose {
 		telemetry.Enable()
 		defer printTelemetrySummary(stderr)
+	}
+	if *doCheck {
+		check.Enable()
+		defer func() {
+			check.Disable()
+			checks, violations := check.Totals()
+			fmt.Fprintf(stderr, "aabench: check: %d checks, %d violations\n", checks, violations)
+		}()
 	}
 	defer func() {
 		if err := shutdownTelemetry(); err != nil {

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aa/internal/check"
+)
+
+func TestRunCheckedSimulation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-events", "30", "-costs", "0,10", "-check"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("checked simulation failed: %v", err)
+	}
+	if !strings.Contains(errOut.String(), "check:") {
+		t.Errorf("missing check summary, stderr: %q", errOut.String())
+	}
+	if check.Enabled() {
+		t.Error("run left process-wide checking enabled")
+	}
+}
+
+func TestRunCheckEnvVar(t *testing.T) {
+	t.Setenv("AA_CHECK", "1")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-events", "20", "-costs", "0"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "check:") {
+		t.Errorf("AA_CHECK=1 did not trigger checking, stderr: %q", errOut.String())
+	}
+}

@@ -10,7 +10,7 @@
 //
 //	aaonline [-m 4] [-c 100] [-events 300] [-seed 1]
 //	         [-threshold 0.828] [-costs 0,1,5,20,100,500]
-//	         [-workers 0] [-timeout 0] [-csv dir]
+//	         [-workers 0] [-timeout 0] [-csv dir] [-check]
 //	         [-metrics-addr host:port] [-trace-out file.jsonl]
 //
 // The (policy × cost) simulation grid fans out across a solver pool
@@ -19,6 +19,9 @@
 // both tables as CSV files into the given directory. -metrics-addr
 // serves live /metrics, /vars and /debug/pprof while the simulation
 // runs; -trace-out appends solver-stage span events as JSONL.
+// -check (or AA_CHECK=1) runs the cap-aware feasibility invariants of
+// internal/check on the live state after every event, failing the run
+// on the first violation and printing a check summary at exit.
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	"strings"
 	"sync"
 
+	"aa/internal/check"
 	"aa/internal/online"
 	"aa/internal/rng"
 	"aa/internal/solverpool"
@@ -63,12 +67,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		csvDir      = fs.String("csv", "", "directory to write the summary and sweep tables as CSV (optional)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. localhost:0)")
 		traceOut    = fs.String("trace-out", "", "write telemetry span/event JSONL to this file")
+		doCheck     = fs.Bool("check", os.Getenv("AA_CHECK") == "1",
+			"verify the live state after every event (also AA_CHECK=1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *events < 1 {
 		return fmt.Errorf("need at least one event")
+	}
+	if *doCheck {
+		check.Enable()
+		defer func() {
+			check.Disable()
+			checks, violations := check.Totals()
+			fmt.Fprintf(stderr, "aaonline: check: %d checks, %d violations\n", checks, violations)
+		}()
 	}
 
 	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format, a...) }

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunCheckFlagAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"a2", "a1", "a2p", "ls", "gm", "exact", "uu", "ur", "ru", "rr"} {
+		var out, errOut bytes.Buffer
+		err := run([]string{"-algo", algo, "-check"}, strings.NewReader(demoInstance), &out, &errOut)
+		if err != nil {
+			t.Fatalf("%s -check: %v", algo, err)
+		}
+		if !strings.Contains(errOut.String(), "check ok") {
+			t.Errorf("%s: missing check-ok line, stderr: %q", algo, errOut.String())
+		}
+	}
+}
+
+func TestRunCheckEnvVar(t *testing.T) {
+	t.Setenv("AA_CHECK", "1")
+	var out, errOut bytes.Buffer
+	if err := run(nil, strings.NewReader(demoInstance), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "check ok") {
+		t.Errorf("AA_CHECK=1 did not trigger checking, stderr: %q", errOut.String())
+	}
+}
+
+func TestRunCheckOffByDefault(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(nil, strings.NewReader(demoInstance), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(errOut.String(), "check ok") {
+		t.Error("checking ran without -check")
+	}
+}

@@ -4,8 +4,8 @@
 // Usage:
 //
 //	aasolve [-algo a2|a1|a2p|ls|gm|exact|uu|ur|ru|rr] [-seed 1] [-json]
-//	        [-maxnodes 0] [-metrics-addr host:port] [-trace-out file.jsonl]
-//	        [file]
+//	        [-check] [-maxnodes 0] [-metrics-addr host:port]
+//	        [-trace-out file.jsonl] [file]
 //
 // With no file argument the instance is read from stdin. The default
 // output is a human-readable table; -json emits machine-readable JSON
@@ -15,6 +15,9 @@
 // greedy baseline. -metrics-addr serves live /metrics, /vars and
 // /debug/pprof while solving; -trace-out appends solver-stage span
 // events as JSONL (useful for profiling a single large instance).
+// -check (or AA_CHECK=1) verifies the solution through internal/check:
+// strict feasibility for every algorithm, plus the α-ratio guarantee
+// for the algorithms that carry one (a1, a2, a2p, ls).
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"io"
 	"os"
 
+	"aa/internal/check"
 	"aa/internal/core"
 	"aa/internal/instio"
 	"aa/internal/rng"
@@ -42,9 +46,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("aasolve", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	var (
-		algo        = fs.String("algo", "a2", "solver: a2, a1, a2p, ls, gm, exact, uu, ur, ru, rr")
-		seed        = fs.Uint64("seed", 1, "seed for the randomized heuristics")
-		asJSON      = fs.Bool("json", false, "emit the assignment as JSON")
+		algo    = fs.String("algo", "a2", "solver: a2, a1, a2p, ls, gm, exact, uu, ur, ru, rr")
+		seed    = fs.Uint64("seed", 1, "seed for the randomized heuristics")
+		asJSON  = fs.Bool("json", false, "emit the assignment as JSON")
+		doCheck = fs.Bool("check", os.Getenv("AA_CHECK") == "1",
+			"verify feasibility and the approximation-ratio bounds (also AA_CHECK=1)")
 		maxNodes    = fs.Int("maxnodes", 0, "node limit for -algo exact (0 = default)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. localhost:0)")
 		traceOut    = fs.String("trace-out", "", "write telemetry span/event JSONL to this file")
@@ -110,6 +116,26 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 	if err := a.Validate(in, 1e-6); err != nil {
 		return fmt.Errorf("internal error, infeasible solution: %w", err)
+	}
+
+	if *doCheck {
+		if err := check.Feasible(in, a, check.DefaultEps); err != nil {
+			return err
+		}
+		rep := check.Ratio(in, a)
+		// Algorithms with a proven α lower bound get the full two-sided
+		// check; everything else must still respect F ≤ F̂.
+		guaranteed := map[string]bool{"a1": true, "a2": true, "a2p": true, "ls": true}
+		var cerr error
+		if guaranteed[*algo] {
+			cerr = rep.CheckAlpha(0)
+		} else {
+			cerr = rep.CheckBound(0)
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Fprintf(stderr, "aasolve: check ok: feasible, F/F̂ = %.4f\n", rep.Ratio)
 	}
 
 	if *asJSON {

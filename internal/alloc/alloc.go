@@ -114,6 +114,22 @@ func Concave(fs []utility.Func, budget float64) Result {
 	// λ = lo. Giving them the leftovers is optimal because their marginal
 	// utility in the gap is exactly the water level.
 	sum := sumAt(fs, hi, alloc)
+	if sum > budget {
+		// The doubling search gave up: even at λ = 1e18 the derivatives
+		// are steeper than the water level, so every probed allocation
+		// over-fills the budget. Feasibility must hold unconditionally,
+		// so scale the whole vector back onto the budget; scaling down
+		// keeps every x_i within its cap, and the utility lost versus
+		// the true optimum is bounded by the water-level gap beyond the
+		// deepest probed λ (astronomically small in practice). Lambda
+		// reports that deepest probe so callers can tell this path from
+		// an exact bisection.
+		scale := budget / sum
+		for i := range alloc {
+			alloc[i] *= scale
+		}
+		return Result{Alloc: alloc, Total: TotalValue(fs, alloc), Lambda: hi, Iterations: iterations}
+	}
 	remaining := budget - sum
 	if remaining > 0 {
 		for i, f := range fs {
@@ -134,9 +150,18 @@ func Concave(fs []utility.Func, budget float64) Result {
 
 // Greedy is Fox's unit-greedy allocator: it repeatedly grants one unit of
 // resource to the thread with the greatest marginal utility for its next
-// unit, until the budget (rounded down to whole units) is exhausted or no
-// thread gains from more resource. For concave utilities this is exact at
-// the chosen granularity. Runtime O((budget/unit)·log n).
+// unit, until the budget is exhausted or no thread gains from more
+// resource. For concave utilities this is exact at the chosen
+// granularity. Runtime O((budget/unit)·log n).
+//
+// Budget quantization: exactly ⌊budget/unit⌋ grants are made and the
+// fractional remainder of budget/unit is deliberately left unallocated —
+// it is the granularity error the caller accepted by choosing unit, and
+// keeping all grants on the unit grid is what makes Greedy directly
+// comparable with DPExact at the same granularity. A grant never exceeds
+// a thread's remaining headroom: a thread whose Cap() is below unit (or
+// not a multiple of it) receives min(unit, Cap−alloc) on its final grant,
+// though the grant still consumes one whole budget unit.
 func Greedy(fs []utility.Func, budget, unit float64) Result {
 	n := len(fs)
 	alloc := make([]float64, n)
@@ -144,22 +169,31 @@ func Greedy(fs []utility.Func, budget, unit float64) Result {
 		return Result{Alloc: alloc}
 	}
 	h := newGainHeap(n)
-	for i, f := range fs {
-		g := marginalGain(f, 0, unit)
-		if g > 0 {
-			h.push(gainItem{thread: i, gain: g})
+	// push re-inserts a thread keyed by the gain of its next grant,
+	// min(unit, remaining headroom); threads at their cap drop out.
+	push := func(thread int) {
+		f := fs[thread]
+		room := f.Cap() - alloc[thread]
+		if room <= 0 {
+			return
 		}
+		if g := marginalGain(f, alloc[thread], math.Min(unit, room)); g > 0 {
+			h.push(gainItem{thread: thread, gain: g})
+		}
+	}
+	for i := range fs {
+		push(i)
 	}
 	units := int(budget / unit)
 	for step := 0; step < units && h.len() > 0; step++ {
 		it := h.pop()
 		f := fs[it.thread]
-		alloc[it.thread] += unit
-		if alloc[it.thread]+unit <= f.Cap()+1e-12 {
-			if g := marginalGain(f, alloc[it.thread], unit); g > 0 {
-				h.push(gainItem{thread: it.thread, gain: g})
-			}
+		grant := math.Min(unit, f.Cap()-alloc[it.thread])
+		if grant <= 0 {
+			continue // unreachable: push only enqueues threads with headroom
 		}
+		alloc[it.thread] += grant
+		push(it.thread)
 	}
 	return Result{Alloc: alloc, Total: TotalValue(fs, alloc)}
 }

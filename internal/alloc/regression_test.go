@@ -1,0 +1,107 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+
+	"aa/internal/utility"
+)
+
+// Regression tests for two allocator bugs surfaced by the internal/check
+// verification layer. Both reproduce the exact failure shape: run them
+// against the pre-fix allocators and they fail with infeasible output.
+
+// Concave's λ-doubling search gives up once λ exceeds 1e18. Before the
+// fix, the give-up path fell through to the plateau pass with an
+// allocation probed at an infeasible water level, returning allocations
+// that sum to a multiple of the budget.
+func TestConcaveSteepDerivativesStayFeasible(t *testing.T) {
+	// Two linear threads steeper than the doubling ceiling: sumAt(λ)
+	// returns both caps (200) for every probed λ, so bisection never
+	// finds a feasible level and the give-up path must renormalize.
+	fs := []utility.Func{
+		utility.Linear{Slope: 2e18, C: 100},
+		utility.Linear{Slope: 2e18, C: 100},
+	}
+	budget := 100.0
+	r := Concave(fs, budget)
+	feasible(t, fs, r.Alloc, budget)
+	if sum := r.Alloc[0] + r.Alloc[1]; math.Abs(sum-budget) > 1e-6*budget {
+		t.Errorf("allocations sum to %v, want the full budget %v", sum, budget)
+	}
+	if math.Abs(r.Alloc[0]-r.Alloc[1]) > 1e-6*budget {
+		t.Errorf("identical threads split unevenly: %v", r.Alloc)
+	}
+	if r.Lambda <= 0 {
+		t.Errorf("Lambda = %v, want the (positive) deepest probed level", r.Lambda)
+	}
+	if r.Iterations == 0 {
+		t.Error("Iterations = 0, want the doubling/bisection steps counted")
+	}
+}
+
+// Same give-up path with a mix of one astronomically steep thread and
+// ordinary curved threads: the renormalized result must stay feasible.
+func TestConcaveSteepMixedStaysFeasible(t *testing.T) {
+	fs := []utility.Func{
+		utility.Linear{Slope: 1e19, C: 100},
+		utility.Log{Scale: 2, Shift: 10, C: 100},
+		utility.SatExp{Scale: 3, K: 20, C: 100},
+	}
+	budget := 50.0
+	r := Concave(fs, budget)
+	feasible(t, fs, r.Alloc, budget)
+	if sum := r.Alloc[0] + r.Alloc[1] + r.Alloc[2]; sum > budget*(1+1e-9) {
+		t.Errorf("sum %v > budget %v", sum, budget)
+	}
+}
+
+// Greedy granted a full unit to a thread whose Cap() is below the unit,
+// pushing its allocation past the cap (the utility clamps, so the bug was
+// invisible in Total but the allocation vector was infeasible).
+func TestGreedyCapBelowUnit(t *testing.T) {
+	fs := []utility.Func{
+		utility.Linear{Slope: 5, C: 0.5}, // cap smaller than one unit
+		utility.Linear{Slope: 1, C: 100},
+	}
+	r := Greedy(fs, 10, 1)
+	feasible(t, fs, r.Alloc, 10)
+	if r.Alloc[0] != 0.5 {
+		t.Errorf("sub-unit-cap thread got %v, want its cap 0.5", r.Alloc[0])
+	}
+	if r.Alloc[1] != 9 {
+		t.Errorf("second thread got %v, want 9 (its grant consumed one of the 10 units)", r.Alloc[1])
+	}
+	if want := 5*0.5 + 9.0; math.Abs(r.Total-want) > 1e-12 {
+		t.Errorf("total %v, want %v", r.Total, want)
+	}
+}
+
+// A cap that is not a multiple of the unit: the final grant must be the
+// remaining headroom, not a full unit.
+func TestGreedyCapNotMultipleOfUnit(t *testing.T) {
+	fs := []utility.Func{
+		utility.Linear{Slope: 5, C: 2.5},
+		utility.Linear{Slope: 1, C: 100},
+	}
+	r := Greedy(fs, 10, 1)
+	feasible(t, fs, r.Alloc, 10)
+	if r.Alloc[0] != 2.5 {
+		t.Errorf("thread 0 got %v, want exactly its cap 2.5", r.Alloc[0])
+	}
+	if r.Alloc[1] != 7 {
+		t.Errorf("thread 1 got %v, want 7 (thread 0 consumed three steps)", r.Alloc[1])
+	}
+}
+
+// The documented budget quantization: Greedy hands out ⌊budget/unit⌋
+// whole units and leaves the fractional remainder unallocated (it is the
+// granularity error the caller accepted by choosing unit, and keeps
+// Greedy on the same grid as DPExact).
+func TestGreedyQuantizesBudget(t *testing.T) {
+	fs := []utility.Func{utility.Linear{Slope: 1, C: 100}}
+	r := Greedy(fs, 10.7, 1)
+	if r.Alloc[0] != 10 {
+		t.Errorf("alloc %v, want 10 (⌊10.7⌋ whole units)", r.Alloc[0])
+	}
+}

@@ -1,0 +1,50 @@
+package check
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestDifferentialFigureCorpus is the check-smoke entry point: the
+// default harness configuration over every figure workload must come
+// back clean, and must not have grown aa_check_violations_total.
+func TestDifferentialFigureCorpus(t *testing.T) {
+	_, v0 := Totals()
+	rep := Differential(DiffOptions{})
+	if err := rep.Err(); err != nil {
+		t.Fatalf("%v\nall violations: %q", err, rep.Violations)
+	}
+	if want := len(FigureWorkloads()); rep.Workloads != want {
+		t.Errorf("covered %d workloads, want %d", rep.Workloads, want)
+	}
+	if rep.Instances == 0 || rep.Solvers == 0 {
+		t.Fatalf("harness ran nothing: %+v", rep)
+	}
+	if _, v1 := Totals(); v1 != v0 {
+		t.Errorf("aa_check_violations_total grew by %d, want 0", v1-v0)
+	}
+}
+
+func TestDifferentialDeterministic(t *testing.T) {
+	opts := DiffOptions{Seed: 42, Trials: 3, MaxM: 2, MaxN: 5}
+	a := Differential(opts)
+	b := Differential(opts)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same options, different reports:\n%+v\n%+v", a, b)
+	}
+	if a.Instances != 3*len(FigureWorkloads()) {
+		t.Errorf("ran %d instances, want %d", a.Instances, 3*len(FigureWorkloads()))
+	}
+}
+
+func TestDiffReportErr(t *testing.T) {
+	clean := &DiffReport{}
+	if err := clean.Err(); err != nil {
+		t.Errorf("clean report errored: %v", err)
+	}
+	dirty := &DiffReport{Violations: []string{"x[0]/a2: boom"}}
+	if err := dirty.Err(); !errors.Is(err, ErrDifferential) {
+		t.Errorf("got %v, want ErrDifferential", err)
+	}
+}

@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"testing"
+
+	"aa/internal/check"
+)
+
+// A checked run must pass cleanly over figure workloads, and checking
+// must not perturb the results: the rng stream (and so every ratio) is
+// identical with verification on and off.
+func TestRunCheckedMatchesUnchecked(t *testing.T) {
+	spec := shrink(Fig3b(6), 4, 2)
+	spec.Extra = []string{"LS", "GM"}
+	plain, err := Run(spec, 21, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check.Enable()
+	defer check.Disable()
+	c0, v0 := check.Totals()
+	checked, err := Run(spec, 21, 2)
+	if err != nil {
+		t.Fatalf("checked run failed: %v", err)
+	}
+	c1, v1 := check.Totals()
+	if c1 == c0 {
+		t.Error("check.Enable did not run any per-trial checks")
+	}
+	if v1 != v0 {
+		t.Errorf("clean figure run grew aa_check_violations_total by %d", v1-v0)
+	}
+
+	for pi := range plain.Points {
+		for c, a := range plain.Points[pi].Ratios {
+			b := checked.Points[pi].Ratios[c]
+			if a.Mean != b.Mean || a.Stddev != b.Stddev {
+				t.Errorf("point %d column %s: unchecked %+v != checked %+v", pi, c, a, b)
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"sync"
 
+	"aa/internal/check"
 	"aa/internal/core"
 	"aa/internal/gen"
 	"aa/internal/rng"
@@ -240,36 +241,91 @@ func runTrial(spec Spec, sp SweepPoint, r *rng.Rand) (map[string]float64, map[st
 	}
 	so := core.SuperOptimal(in)
 	gs := core.Linearize(in, so)
-	u2 := core.Assign2Linearized(in, gs).Utility(in)
-	u1 := core.Assign1Linearized(in, gs).Utility(in)
+	a2 := core.Assign2Linearized(in, gs)
+	a1 := core.Assign1Linearized(in, gs)
+	u2 := a2.Utility(in)
+
+	// The randomized heuristics must draw in this exact order (UR, RU,
+	// RR) — it is the rng stream behind every published figure.
+	heur := []namedAssignment{
+		{"UU", core.AssignUU(in)},
+		{"UR", core.AssignUR(in, r)},
+		{"RU", core.AssignRU(in, r)},
+		{"RR", core.AssignRR(in, r)},
+	}
 
 	num := map[string]float64{}
 	den := map[string]float64{
 		"SO": so.Total,
-		"UU": core.AssignUU(in).Utility(in),
-		"UR": core.AssignUR(in, r).Utility(in),
-		"RU": core.AssignRU(in, r).Utility(in),
-		"RR": core.AssignRR(in, r).Utility(in),
-		"A1": u1,
+		"A1": a1.Utility(in),
+	}
+	for _, h := range heur {
+		den[h.name] = h.a.Utility(in)
 	}
 	for c := range den {
 		num[c] = u2
 	}
+	if check.Enabled() {
+		if err := verifyTrial(in, so.Total, a1, a2, heur); err != nil {
+			return nil, nil, err
+		}
+	}
 	for _, extra := range spec.Extra {
 		switch extra {
 		case "LS":
-			a2 := core.Assign2Linearized(in, gs)
 			improved, _ := core.Improve(in, a2, 0)
+			if check.Enabled() {
+				if err := check.Feasible(in, improved, check.DefaultEps); err != nil {
+					return nil, nil, fmt.Errorf("LS: %w", err)
+				}
+			}
 			// Reported against SO so the column reads like the SO column:
 			// how much of the bound A2+local-search attains.
 			num["LS"], den["LS"] = improved.Utility(in), so.Total
 		case "GM":
-			num["GM"], den["GM"] = core.AssignGreedyMarginal(in).Utility(in), so.Total
+			gm := core.AssignGreedyMarginal(in)
+			if check.Enabled() {
+				if err := check.Feasible(in, gm, check.DefaultEps); err != nil {
+					return nil, nil, fmt.Errorf("GM: %w", err)
+				}
+			}
+			num["GM"], den["GM"] = gm.Utility(in), so.Total
 		default:
 			return nil, nil, fmt.Errorf("unknown extra competitor %q", extra)
 		}
 	}
 	return num, den, nil
+}
+
+// namedAssignment labels a solver's output for verification messages.
+type namedAssignment struct {
+	name string
+	a    core.Assignment
+}
+
+// verifyTrial is the harness's -check hook (aabench -check / AA_CHECK=1):
+// every solver's assignment must be feasible, every utility must respect
+// the super-optimal bound, and Assign1/Assign2 must clear the paper's α
+// guarantee. The first violation fails the trial — and with it the whole
+// run — rather than silently averaging a bogus ratio into a figure.
+func verifyTrial(in *core.Instance, fhat float64, a1, a2 core.Assignment, heur []namedAssignment) error {
+	solvers := append([]namedAssignment{{"A1", a1}, {"A2", a2}}, heur...)
+	for _, s := range solvers {
+		if err := check.Feasible(in, s.a, check.DefaultEps); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		rr := check.RatioAgainst(fhat, in, s.a)
+		var err error
+		if s.name == "A1" || s.name == "A2" {
+			err = rr.CheckAlpha(0)
+		} else {
+			err = rr.CheckBound(0)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+	return nil
 }
 
 // safeRatio guards against degenerate zero-utility denominators (possible

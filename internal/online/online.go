@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"aa/internal/alloc"
+	"aa/internal/check"
 	"aa/internal/core"
 	"aa/internal/utility"
 )
@@ -118,6 +119,27 @@ func (s *State) Validate(tol float64) error {
 		}
 	}
 	return nil
+}
+
+// Check runs the cap-aware feasibility invariants of internal/check on
+// the live state — the -check hook of aaonline. Unlike Validate it also
+// enforces each thread's own utility cap (not just server capacity) and
+// counts the outcome into the aa_check_* metrics.
+func (s *State) Check(eps float64) error {
+	in, ids := s.instance()
+	if len(ids) == 0 {
+		return nil
+	}
+	a := core.NewAssignment(len(ids))
+	for k, id := range ids {
+		p, ok := s.Place[id]
+		if !ok {
+			return fmt.Errorf("%w: thread %d unplaced", check.ErrInfeasible, id)
+		}
+		a.Server[k] = p.Server
+		a.Alloc[k] = p.Alloc
+	}
+	return check.Feasible(in, a, eps)
 }
 
 // instance builds a core.Instance snapshot plus the id order used.
@@ -331,6 +353,11 @@ func Simulate(m int, c float64, events []Event, policy Policy, moveCost, horizon
 		res.Migrations += len(migrated)
 		if err := s.Validate(1e-6); err != nil {
 			return Result{}, fmt.Errorf("online: after t=%v: %w", ev.Time, err)
+		}
+		if check.Enabled() {
+			if err := s.Check(check.DefaultEps); err != nil {
+				return Result{}, fmt.Errorf("online: after t=%v: %w", ev.Time, err)
+			}
 		}
 	}
 	res.UtilityIntegral += s.TotalUtility() * (horizon - now)

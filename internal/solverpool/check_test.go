@@ -1,0 +1,63 @@
+package solverpool
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"aa/internal/check"
+	"aa/internal/core"
+	"aa/internal/utility"
+)
+
+func checkedInstance() *core.Instance {
+	return &core.Instance{
+		M: 2, C: 100,
+		Threads: []utility.Func{
+			utility.Log{Scale: 5, Shift: 10, C: 100},
+			utility.Linear{Slope: 1, C: 30},
+			utility.SatExp{Scale: 3, K: 20, C: 100},
+		},
+	}
+}
+
+func TestCheckedPoolVerifiesSolves(t *testing.T) {
+	p := New(Options{Workers: 2, Check: true})
+	defer p.Close()
+	c0, v0 := check.Totals()
+	a, err := p.Solve(context.Background(), checkedInstance())
+	if err != nil {
+		t.Fatalf("checked solve failed: %v", err)
+	}
+	if got := a.Utility(checkedInstance()); got <= 0 {
+		t.Errorf("utility %v, want > 0", got)
+	}
+	c1, v1 := check.Totals()
+	if c1 == c0 {
+		t.Error("Options.Check did not run any checks")
+	}
+	if v1 != v0 {
+		t.Errorf("clean solve grew aa_check_violations_total by %d", v1-v0)
+	}
+}
+
+func TestProcessWideCheckCoversUncheckedPool(t *testing.T) {
+	p := New(Options{Workers: 1})
+	defer p.Close()
+	check.Enable()
+	defer check.Disable()
+	c0, _ := check.Totals()
+	if _, err := p.SolveBatch(context.Background(),
+		[]*core.Instance{checkedInstance(), checkedInstance()}); err != nil {
+		t.Fatalf("batch failed under check.Enable: %v", err)
+	}
+	if c1, _ := check.Totals(); c1 == c0 {
+		t.Error("check.Enable did not reach a pool built without Options.Check")
+	}
+}
+
+func TestErrInfeasibleReexport(t *testing.T) {
+	if !errors.Is(ErrInfeasible, check.ErrInfeasible) {
+		t.Error("solverpool.ErrInfeasible is not check.ErrInfeasible")
+	}
+}

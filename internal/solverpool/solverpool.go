@@ -31,6 +31,13 @@
 //     registry (aa_pool_* metrics: shared counters, a live queue-depth
 //     gauge, and enqueue/solve latency histograms) when telemetry is
 //     enabled, so a /metrics endpoint sees every pool in the process.
+//
+//   - Verifiable. With Options.Check (or the process-wide check.Enable /
+//     AA_CHECK=1 switch) every Solve/SolveBatch result is run through
+//     internal/check after solving: feasibility plus the α-ratio
+//     guarantee. A violation counts into aa_check_violations_total and
+//     fails the request with an error wrapping check.ErrInfeasible or
+//     check.ErrRatio instead of returning a bogus assignment.
 package solverpool
 
 import (
@@ -41,9 +48,16 @@ import (
 	"sync"
 	"time"
 
+	"aa/internal/check"
 	"aa/internal/core"
 	"aa/internal/telemetry"
 )
+
+// ErrInfeasible is the typed error a checked pool wraps when post-solve
+// verification rejects a result on feasibility grounds (re-exported from
+// internal/check so pool callers can errors.Is against it without
+// importing the check package). Ratio violations wrap check.ErrRatio.
+var ErrInfeasible = check.ErrInfeasible
 
 // Process-wide pool metrics (aa_pool_*). Counters and histograms
 // aggregate across every pool in the process and are recorded only when
@@ -86,6 +100,12 @@ type Options struct {
 	// QueueDepth bounds the number of jobs waiting to run (not counting
 	// the ones in flight); <= 0 means 2×Workers.
 	QueueDepth int
+	// Check turns on post-solve verification for this pool's Solve and
+	// SolveBatch: every result must pass check.PostSolve (feasibility +
+	// the α-ratio guarantee) or the request fails with the violation.
+	// The process-wide check.Enable switch has the same effect on every
+	// pool regardless of this option.
+	Check bool
 }
 
 // Stats is a snapshot of the pool's counters — the per-pool
@@ -132,6 +152,7 @@ type job struct {
 type Pool struct {
 	workers    int
 	queueDepth int
+	check      bool
 	jobs       chan job
 
 	mu     sync.RWMutex // guards closed vs. sends on jobs
@@ -163,6 +184,7 @@ func New(opts Options) *Pool {
 	p := &Pool{
 		workers:    w,
 		queueDepth: q,
+		check:      opts.Check,
 		jobs:       make(chan job, q),
 	}
 	p.wg.Add(w)
@@ -338,6 +360,23 @@ func SolveInstance(ctx context.Context, in *core.Instance) (core.Assignment, err
 	return core.Assign2Linearized(in, gs), nil
 }
 
+// solveVerified is SolveInstance plus the opt-in post-solve check: when
+// the pool was built with Options.Check or the process-wide check.Enable
+// is on, the result is verified (feasibility + α-ratio) before being
+// handed back, and a violation fails the request instead.
+func (p *Pool) solveVerified(ctx context.Context, in *core.Instance) (core.Assignment, error) {
+	a, err := SolveInstance(ctx, in)
+	if err != nil {
+		return a, err
+	}
+	if p.check || check.Enabled() {
+		if cerr := check.PostSolve(in, a); cerr != nil {
+			return core.Assignment{}, cerr
+		}
+	}
+	return a, nil
+}
+
 // Solve submits one instance and waits for its assignment. It returns
 // ctx.Err() as soon as the request is cancelled, even if a worker is
 // still chewing on the instance.
@@ -348,7 +387,7 @@ func (p *Pool) Solve(ctx context.Context, in *core.Instance) (core.Assignment, e
 	}
 	ch := make(chan result, 1)
 	err := p.Enqueue(ctx, func(tctx context.Context) error {
-		a, err := SolveInstance(tctx, in)
+		a, err := p.solveVerified(tctx, in)
 		ch <- result{a: a, err: err}
 		return err
 	})
@@ -386,7 +425,7 @@ func (p *Pool) SolveBatch(ctx context.Context, ins []*core.Instance) ([]core.Ass
 		for i, in := range ins {
 			i, in := i, in
 			err := p.Enqueue(bctx, func(tctx context.Context) error {
-				a, err := SolveInstance(tctx, in)
+				a, err := p.solveVerified(tctx, in)
 				results <- result{idx: i, a: a, err: err}
 				return err
 			})
