@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmtcheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke ci bench figures examples cover clean
+.PHONY: all build test vet fmtcheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke bench-json bench-regress ci bench figures examples cover clean
 
 all: build vet fmtcheck test
 
@@ -49,8 +49,21 @@ telemetry-smoke:
 metrics-smoke:
 	./scripts/metrics_smoke.sh
 
+# Emit a bench/BENCH_<git rev>.json snapshot of the solver-core benchmark
+# matrix (ns/op + allocs/op) without gating. BENCHTIME=1s for more stable
+# numbers.
+bench-json:
+	EMIT_ONLY=1 ./scripts/bench_regress.sh
+
+# The benchmark-regression gate CI runs: snapshot, fast-path speedup
+# floor (Assign1 >= 5x, SuperOptimal >= 2x over the retained references
+# at n=10k; zero allocs in the session solve), and comparison against
+# bench/baseline.json with a 20% calibrated threshold.
+bench-regress:
+	./scripts/bench_regress.sh
+
 # Mirror of .github/workflows/ci.yml.
-ci: build vet fmtcheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke
+ci: build vet fmtcheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke bench-regress
 
 # One benchmark per paper figure/claim plus micro-benchmarks.
 bench:

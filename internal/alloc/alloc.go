@@ -16,6 +16,7 @@ package alloc
 
 import (
 	"math"
+	"sync"
 
 	"aa/internal/rng"
 	"aa/internal/utility"
@@ -65,31 +66,116 @@ func sumAt(fs []utility.Func, lambda float64, alloc []float64) float64 {
 // If Σ caps <= budget every thread simply receives its cap. Plateaus in
 // the derivatives (piecewise-linear utilities) are handled by a final
 // redistribution pass among threads whose marginal equals λ.
+//
+// Concave is exactly ConcaveInto(nil, fs, budget); use ConcaveInto to
+// reuse an allocation slice across solves. ConcaveRef is the unpruned
+// reference implementation kept for differential testing.
 func Concave(fs []utility.Func, budget float64) Result {
+	return ConcaveInto(nil, fs, budget)
+}
+
+// concaveScratch holds the per-solve working set of the pruned bisection.
+// Pooled so steady-state re-solves allocate nothing.
+type concaveScratch struct {
+	caps   []float64
+	active []int
+}
+
+var concavePool = sync.Pool{New: func() any { return new(concaveScratch) }}
+
+// ConcaveInto is Concave writing the allocation into dst (grown if its
+// capacity is short, so pass a slice with capacity >= len(fs) for an
+// allocation-free solve). It prunes the λ-search: the per-thread amount
+// x_i(λ) = InverseDeriv_i(λ) is nonincreasing in λ, so once a probe on a
+// branch that only raises λ finds x_i = 0 the thread is settled at 0 for
+// the rest of the search, and once a probe on a branch that only lowers λ
+// finds x_i = Cap_i the thread is settled at its cap. Settled threads drop
+// out of the active set and later probes never re-evaluate them; their sum
+// is carried as a constant. Probe cost decays from O(n) toward O(#threads
+// interior at the optimum), which on capacity-tight workloads is a small
+// fraction of n.
+func ConcaveInto(dst []float64, fs []utility.Func, budget float64) Result {
 	n := len(fs)
-	alloc := make([]float64, n)
-	if n == 0 || budget <= 0 {
-		return Result{Alloc: alloc}
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]float64, n)
 	}
+	if n == 0 || budget <= 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return Result{Alloc: dst}
+	}
+
+	sc := concavePool.Get().(*concaveScratch)
+	defer concavePool.Put(sc)
+	if cap(sc.caps) < n {
+		sc.caps = make([]float64, n)
+		sc.active = make([]int, n)
+	}
+	caps := sc.caps[:n]
+	active := sc.active[:0]
 
 	// Trivial case: budget covers every cap.
 	capSum := 0.0
-	for _, f := range fs {
-		capSum += f.Cap()
+	for i, f := range fs {
+		caps[i] = f.Cap()
+		capSum += caps[i]
 	}
 	if capSum <= budget {
-		for i, f := range fs {
-			alloc[i] = f.Cap()
+		copy(dst, caps)
+		return Result{Alloc: dst, Total: TotalValue(fs, dst)}
+	}
+	for i := range fs {
+		active = append(active, i)
+	}
+
+	// base carries the settled threads' contribution to Σ x_i(λ).
+	base := 0.0
+	sumActive := func(lambda float64) float64 {
+		sum := base
+		for _, i := range active {
+			x := utility.InverseDeriv(fs[i], lambda, 1e-12)
+			dst[i] = x
+			sum += x
 		}
-		return Result{Alloc: alloc, Total: TotalValue(fs, alloc)}
+		return sum
+	}
+	// settleAtZero drops threads the last (over-budget) probe priced out;
+	// every later evaluation uses a λ at least as large, where x_i stays 0.
+	settleAtZero := func() {
+		kept := active[:0]
+		for _, i := range active {
+			if dst[i] != 0 {
+				kept = append(kept, i)
+			}
+		}
+		active = kept
+	}
+	// settleAtCap drops threads the last (within-budget) probe saturated;
+	// every later evaluation uses a λ no larger, where x_i stays Cap_i.
+	settleAtCap := func() {
+		kept := active[:0]
+		for _, i := range active {
+			if dst[i] == caps[i] {
+				base += caps[i]
+			} else {
+				kept = append(kept, i)
+			}
+		}
+		active = kept
 	}
 
 	// Find hi with sumAt(hi) <= budget by doubling. λ = 0 gives capSum >
-	// budget, so the optimal λ is positive.
+	// budget, so the optimal λ is positive. Only the over-budget probes
+	// (the ones that keep the loop running) settle threads: the search
+	// never revisits a λ below the probe that priced a thread out.
 	iterations := 0
 	lo, hi := 0.0, 1.0
-	for sumAt(fs, hi, alloc) > budget {
+	for sumActive(hi) > budget {
 		iterations++
+		settleAtZero()
 		lo = hi
 		hi *= 2
 		if hi > 1e18 {
@@ -102,18 +188,23 @@ func Concave(fs []utility.Func, budget float64) Result {
 	for iter := 0; iter < 200 && hi-lo > 1e-15*(1+hi); iter++ {
 		iterations++
 		mid := 0.5 * (lo + hi)
-		if sumAt(fs, mid, alloc) > budget {
+		if sumActive(mid) > budget {
 			lo = mid
+			settleAtZero()
 		} else {
 			hi = mid
+			settleAtCap()
 		}
 	}
 
 	// Use the feasible end (λ = hi ⇒ sum <= budget), then hand out any
 	// remaining budget to plateau threads: those that would take more at
 	// λ = lo. Giving them the leftovers is optimal because their marginal
-	// utility in the gap is exactly the water level.
-	sum := sumAt(fs, hi, alloc)
+	// utility in the gap is exactly the water level. Settled threads take
+	// nothing in the gap — a thread at its cap has no headroom and a
+	// priced-out thread still prices out at λ = lo — so only the active
+	// set is scanned, in index order as before.
+	sum := sumActive(hi)
 	if sum > budget {
 		// The doubling search gave up: even at λ = 1e18 the derivatives
 		// are steeper than the water level, so every probed allocation
@@ -123,29 +214,31 @@ func Concave(fs []utility.Func, budget float64) Result {
 		// the true optimum is bounded by the water-level gap beyond the
 		// deepest probed λ (astronomically small in practice). Lambda
 		// reports that deepest probe so callers can tell this path from
-		// an exact bisection.
+		// an exact bisection. No thread can be settled at cap here (that
+		// needs a within-budget probe, which ends the doubling search),
+		// so scaling the whole vector touches only live amounts.
 		scale := budget / sum
-		for i := range alloc {
-			alloc[i] *= scale
+		for i := range dst {
+			dst[i] *= scale
 		}
-		return Result{Alloc: alloc, Total: TotalValue(fs, alloc), Lambda: hi, Iterations: iterations}
+		return Result{Alloc: dst, Total: TotalValue(fs, dst), Lambda: hi, Iterations: iterations}
 	}
 	remaining := budget - sum
 	if remaining > 0 {
-		for i, f := range fs {
+		for _, i := range active {
 			if remaining <= 1e-12*budget {
 				break
 			}
-			more := utility.InverseDeriv(f, lo, 1e-12) - alloc[i]
+			more := utility.InverseDeriv(fs[i], lo, 1e-12) - dst[i]
 			if more <= 0 {
 				continue
 			}
 			grant := math.Min(more, remaining)
-			alloc[i] += grant
+			dst[i] += grant
 			remaining -= grant
 		}
 	}
-	return Result{Alloc: alloc, Total: TotalValue(fs, alloc), Lambda: hi, Iterations: iterations}
+	return Result{Alloc: dst, Total: TotalValue(fs, dst), Lambda: hi, Iterations: iterations}
 }
 
 // Greedy is Fox's unit-greedy allocator: it repeatedly grants one unit of
@@ -190,7 +283,15 @@ func Greedy(fs []utility.Func, budget, unit float64) Result {
 		f := fs[it.thread]
 		grant := math.Min(unit, f.Cap()-alloc[it.thread])
 		if grant <= 0 {
-			continue // unreachable: push only enqueues threads with headroom
+			// Unreachable by construction: push only enqueues threads with
+			// headroom and each thread sits in the heap at most once, so a
+			// popped thread always has room. Tolerated in release builds,
+			// fatal under -tags aadebug so a regression cannot hide as a
+			// silently skipped grant.
+			if debugChecks {
+				panic("alloc: Greedy popped a thread with no headroom")
+			}
+			continue
 		}
 		alloc[it.thread] += grant
 		push(it.thread)
@@ -265,6 +366,12 @@ func newGainHeap(capacity int) *gainHeap {
 func (h *gainHeap) len() int { return len(h.items) }
 
 func (h *gainHeap) push(it gainItem) {
+	// Each thread occupies at most one slot (Greedy re-pushes only after a
+	// pop), so the backing array pre-sized to n in newGainHeap never
+	// regrows in the units loop; the append below must stay in place.
+	if debugChecks && len(h.items) == cap(h.items) {
+		panic("alloc: gainHeap grew past its pre-sized capacity")
+	}
 	h.items = append(h.items, it)
 	i := len(h.items) - 1
 	for i > 0 {

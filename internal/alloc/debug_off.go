@@ -1,0 +1,8 @@
+//go:build !aadebug
+
+package alloc
+
+// debugChecks gates assertions on paths that are unreachable by
+// construction (see debug_on.go). Off in normal builds so the checks cost
+// nothing; `go test -tags aadebug ./...` turns them into panics.
+const debugChecks = false

@@ -1,0 +1,9 @@
+//go:build aadebug
+
+package alloc
+
+// debugChecks is enabled by the aadebug build tag: invariants that are
+// unreachable by construction panic instead of being silently tolerated,
+// so a future edit that breaks one fails loudly under
+// `go test -tags aadebug ./...`.
+const debugChecks = true

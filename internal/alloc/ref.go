@@ -1,0 +1,89 @@
+package alloc
+
+import (
+	"math"
+
+	"aa/internal/utility"
+)
+
+// ConcaveRef is the unpruned reference water-filling allocator: every
+// λ-probe re-evaluates every thread's inverse derivative. It is the
+// implementation Concave had before the pruned fast path and is retained
+// as the oracle for differential tests (TestConcaveMatchesRef, the check
+// harness) and for the before/after benchmarks; production callers should
+// use Concave / ConcaveInto.
+func ConcaveRef(fs []utility.Func, budget float64) Result {
+	n := len(fs)
+	alloc := make([]float64, n)
+	if n == 0 || budget <= 0 {
+		return Result{Alloc: alloc}
+	}
+
+	// Trivial case: budget covers every cap.
+	capSum := 0.0
+	for _, f := range fs {
+		capSum += f.Cap()
+	}
+	if capSum <= budget {
+		for i, f := range fs {
+			alloc[i] = f.Cap()
+		}
+		return Result{Alloc: alloc, Total: TotalValue(fs, alloc)}
+	}
+
+	// Find hi with sumAt(hi) <= budget by doubling. λ = 0 gives capSum >
+	// budget, so the optimal λ is positive.
+	iterations := 0
+	lo, hi := 0.0, 1.0
+	for sumAt(fs, hi, alloc) > budget {
+		iterations++
+		lo = hi
+		hi *= 2
+		if hi > 1e18 {
+			break // derivatives are astronomically steep; give up doubling
+		}
+	}
+
+	// Bisect λ. 100 iterations gives ~2^-100 relative precision, far past
+	// float64; we stop early once the interval is negligible.
+	for iter := 0; iter < 200 && hi-lo > 1e-15*(1+hi); iter++ {
+		iterations++
+		mid := 0.5 * (lo + hi)
+		if sumAt(fs, mid, alloc) > budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+
+	// Use the feasible end (λ = hi ⇒ sum <= budget), then hand out any
+	// remaining budget to plateau threads: those that would take more at
+	// λ = lo. Giving them the leftovers is optimal because their marginal
+	// utility in the gap is exactly the water level.
+	sum := sumAt(fs, hi, alloc)
+	if sum > budget {
+		// The doubling search gave up: scale back onto the budget (see the
+		// matching comment in ConcaveInto).
+		scale := budget / sum
+		for i := range alloc {
+			alloc[i] *= scale
+		}
+		return Result{Alloc: alloc, Total: TotalValue(fs, alloc), Lambda: hi, Iterations: iterations}
+	}
+	remaining := budget - sum
+	if remaining > 0 {
+		for i, f := range fs {
+			if remaining <= 1e-12*budget {
+				break
+			}
+			more := utility.InverseDeriv(f, lo, 1e-12) - alloc[i]
+			if more <= 0 {
+				continue
+			}
+			grant := math.Min(more, remaining)
+			alloc[i] += grant
+			remaining -= grant
+		}
+	}
+	return Result{Alloc: alloc, Total: TotalValue(fs, alloc), Lambda: hi, Iterations: iterations}
+}

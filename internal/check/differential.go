@@ -156,12 +156,27 @@ func (rep *DiffReport) checkInstance(where string, in *core.Instance, r *rng.Ran
 	rep.note(where+"/exact", RatioAgainst(so.Total, in, exact).CheckBound(0))
 
 	gs := core.Linearize(in, so)
+
+	// Fast-path differential: the heap-based Assign1 must reproduce the
+	// retained quadratic reference bit for bit — same servers, same
+	// amounts — on every corpus instance, not merely equal utility.
+	fastA1 := core.Assign1Linearized(in, gs)
+	refA1 := core.Assign1LinearizedRef(in, gs)
+	for i := range refA1.Server {
+		if fastA1.Server[i] != refA1.Server[i] || fastA1.Alloc[i] != refA1.Alloc[i] {
+			rep.note(where+"/a1-fastref", record(fmt.Errorf(
+				"%w: thread %d: fast Assign1 (server %d, alloc %v) != reference (server %d, alloc %v)",
+				ErrDifferential, i, fastA1.Server[i], fastA1.Alloc[i], refA1.Server[i], refA1.Alloc[i])))
+			break
+		}
+	}
+
 	solvers := []struct {
 		label      string
 		a          core.Assignment
 		guaranteed bool // proven α lower bound
 	}{
-		{"a1", core.Assign1Linearized(in, gs), true},
+		{"a1", fastA1, true},
 		{"a2", core.Assign2Linearized(in, gs), true},
 		{"gm", core.AssignGreedyMarginal(in), false},
 		{"uu", core.AssignUU(in), false},
@@ -195,7 +210,10 @@ func (rep *DiffReport) checkInstance(where string, in *core.Instance, r *rng.Ran
 }
 
 // checkAlloc cross-checks alloc.Concave against the alloc.Greedy ground
-// truth on the instance's thread set at a 1/256 granularity.
+// truth on the instance's thread set at a 1/256 granularity, and against
+// the retained unpruned bisection alloc.ConcaveRef (the pruning may shift
+// λ's bisection trajectory, so the comparison is tolerance-based, unlike
+// the bitwise Assign1 differential).
 func (rep *DiffReport) checkAlloc(where string, in *core.Instance, budget, eps float64) {
 	fs := in.Threads
 	cc := alloc.Concave(fs, budget)
@@ -206,5 +224,19 @@ func (rep *DiffReport) checkAlloc(where string, in *core.Instance, budget, eps f
 		rep.note(where, record(fmt.Errorf(
 			"%w: Concave total %v below the unit-greedy ground truth %v",
 			ErrDifferential, cc.Total, gr.Total)))
+	}
+	ref := alloc.ConcaveRef(fs, budget)
+	if d := math.Abs(cc.Total - ref.Total); d > 1e-7*(1+math.Abs(ref.Total)) {
+		rep.note(where+"/concave-ref", record(fmt.Errorf(
+			"%w: pruned Concave total %v != unpruned reference %v (diff %g)",
+			ErrDifferential, cc.Total, ref.Total, d)))
+	}
+	for i := range ref.Alloc {
+		if d := math.Abs(cc.Alloc[i] - ref.Alloc[i]); d > 1e-6*(1+budget) {
+			rep.note(where+"/concave-ref", record(fmt.Errorf(
+				"%w: thread %d: pruned allocation %v != unpruned reference %v",
+				ErrDifferential, i, cc.Alloc[i], ref.Alloc[i])))
+			break
+		}
 	}
 }

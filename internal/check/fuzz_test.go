@@ -51,7 +51,9 @@ func FuzzFeasibleConcave(f *testing.F) {
 
 // FuzzDifferentialAssign fuzzes the assignment pipeline on small gen
 // instances: Assign1/Assign2 must be feasible and honor α·F̂ ≤ F ≤ F̂,
-// and neither may beat the branch-and-bound exact optimum.
+// neither may beat the branch-and-bound exact optimum, the heap-based
+// Assign1 must match the quadratic reference bit for bit, and the pruned
+// λ-bisection must agree with the unpruned reference water-filling.
 func FuzzDifferentialAssign(f *testing.F) {
 	f.Add(uint64(1), uint8(2), uint8(5), uint8(0))
 	f.Add(uint64(3), uint8(3), uint8(6), uint8(2))
@@ -70,6 +72,19 @@ func FuzzDifferentialAssign(f *testing.F) {
 		gs := core.Linearize(in, so)
 		a1 := core.Assign1Linearized(in, gs)
 		a2 := core.Assign2Linearized(in, gs)
+		refA1 := core.Assign1LinearizedRef(in, gs)
+		for i := range refA1.Server {
+			if a1.Server[i] != refA1.Server[i] || a1.Alloc[i] != refA1.Alloc[i] {
+				t.Fatalf("thread %d: fast Assign1 (%d,%v) != reference (%d,%v)",
+					i, a1.Server[i], a1.Alloc[i], refA1.Server[i], refA1.Alloc[i])
+			}
+		}
+		// gen threads are capped at C, so SuperOptimal's capping wrapper is
+		// a no-op and ConcaveRef over the raw threads is the same problem.
+		refSO := alloc.ConcaveRef(in.Threads, float64(in.M)*in.C)
+		if d := math.Abs(so.Total - refSO.Total); d > 1e-7*(1+math.Abs(refSO.Total)) {
+			t.Fatalf("pruned super-optimal total %v != unpruned reference %v", so.Total, refSO.Total)
+		}
 		for _, tc := range []struct {
 			label string
 			a     core.Assignment

@@ -1,8 +1,8 @@
 package core
 
-// Assign1 is the paper's Algorithm 1: the O(mn² + n(log mC)²) greedy on
-// the linearized problem, achieving total utility at least
-// α = 2(√2−1) ≈ 0.828 times optimal (Theorem V.16).
+// Assign1 is the paper's Algorithm 1: the greedy on the linearized
+// problem, achieving total utility at least α = 2(√2−1) ≈ 0.828 times
+// optimal (Theorem V.16).
 //
 // Each iteration considers the unassigned threads. If some thread still
 // fits its super-optimal allocation ĉ_i on some server (a "full"
@@ -11,6 +11,16 @@ package core
 // thread must settle for a server's leftovers; the (thread, server) pair
 // extracting the greatest utility g_i(C_j) is chosen and the thread takes
 // everything the server has left.
+//
+// The implementation runs in O((n+m) log(n+m)) rather than the paper's
+// textbook O(mn²) scan: a max-heap over server residuals replaces the
+// per-pass server sweep, and two priority queues over threads — full
+// candidates by g(ĉ), the rest by ramp slope — replace the per-pass thread
+// sweep. The max residual only shrinks, so each thread crosses from "fits"
+// to "doesn't fit" at most once and the queues migrate lazily. Assign1Ref
+// retains the quadratic implementation; the two are byte-identical on any
+// linearization with ĉ_i ∈ [0, C] (which Linearize guarantees), a property
+// the differential tests assert across the figure corpus.
 func Assign1(in *Instance) Assignment {
 	so := SuperOptimal(in)
 	gs := Linearize(in, so)
@@ -20,7 +30,39 @@ func Assign1(in *Instance) Assignment {
 // Assign1Linearized runs Algorithm 1 given precomputed linearized
 // utilities, letting callers share one super-optimal computation across
 // several algorithms (or drive adversarial linearizations in tests).
+// Requires ĉ_i ≥ 0, as Linearize produces: a negative ĉ would grow a
+// server's residual and break the shrinking-max invariant the fast path
+// (and the algorithm's own analysis) relies on.
 func Assign1Linearized(in *Instance, gs []Linearized) Assignment {
+	w := GetWorkspace()
+	defer PutWorkspace(w)
+	var out Assignment
+	w.Assign1Linearized(in, gs, &out)
+	return out
+}
+
+// Assign1Ref is Assign1 running on the retained O(mn²) reference
+// implementation — the textbook transcription of the paper's pseudocode.
+// It exists as the oracle for differential tests of the heap-based fast
+// path and for before/after benchmarks; solve paths should use Assign1.
+func Assign1Ref(in *Instance) Assignment {
+	so := SuperOptimal(in)
+	gs := Linearize(in, so)
+	return Assign1LinearizedRef(in, gs)
+}
+
+// Assign1LinearizedRef is the reference implementation behind Assign1Ref.
+//
+// Its per-pass scans pick, among the unassigned threads, the full
+// candidate maximizing g(ĉ) — or, when none fits, the thread maximizing
+// the utility of the fullest server's leftovers R. For that second pick it
+// compares ramp slopes rather than the values g_i(R): with ĉ_i > R ≥ 0
+// every candidate's value is slope_i·R, so the ranking is the same, but
+// comparing slopes directly cannot disagree with the fast path over a
+// rounding flip in the multiplication by R (and when R = 0 every remaining
+// thread receives zero on the same server, so any pick order yields the
+// identical assignment).
+func Assign1LinearizedRef(in *Instance, gs []Linearized) Assignment {
 	start := stageStart()
 	n, m := in.N(), in.M
 	out := NewAssignment(n)
@@ -29,6 +71,11 @@ func Assign1Linearized(in *Instance, gs []Linearized) Assignment {
 		residual[j] = in.C
 	}
 	assigned := make([]bool, n)
+
+	// Work counters for the loops actually run, flushed once at the end:
+	// fit-checks are (unassigned thread, fullest server) examinations,
+	// server ops the residual-scan steps of each pass.
+	var fitChecks, serverOps uint64
 
 	for remaining := n; remaining > 0; remaining-- {
 		// Phase 1 candidate: unassigned thread with the greatest g_i(ĉ_i)
@@ -41,6 +88,7 @@ func Assign1Linearized(in *Instance, gs []Linearized) Assignment {
 		// fullest server, so only the fullest server matters per thread.
 		maxServer, maxResidual := 0, residual[0]
 		for j := 1; j < m; j++ {
+			serverOps++
 			if residual[j] > maxResidual {
 				maxServer, maxResidual = j, residual[j]
 			}
@@ -52,6 +100,7 @@ func Assign1Linearized(in *Instance, gs []Linearized) Assignment {
 			if assigned[i] {
 				continue
 			}
+			fitChecks++
 			g := gs[i]
 			if g.CHat <= maxResidual {
 				// Thread fits somewhere (in particular on maxServer).
@@ -60,7 +109,7 @@ func Assign1Linearized(in *Instance, gs []Linearized) Assignment {
 				}
 				continue
 			}
-			if v := g.Value(maxResidual); bestPartial < 0 || v > bestPartialVal {
+			if v := g.Slope(); bestPartial < 0 || v > bestPartialVal {
 				bestPartial, bestPartialVal = i, v
 			}
 		}
@@ -82,11 +131,9 @@ func Assign1Linearized(in *Instance, gs []Linearized) Assignment {
 	}
 	if !start.IsZero() {
 		metricAssign1Calls.Inc()
-		// One greedy pass per thread; each pass fit-checks every thread
-		// still unassigned against the fullest server, so the totals are
-		// exact without touching the loops above.
 		metricAssign1Passes.Add(uint64(n))
-		metricAssign1FitChecks.Add(uint64(n) * uint64(n+1) / 2)
+		metricAssign1FitChecks.Add(fitChecks)
+		metricAssign1ServerOps.Add(serverOps)
 		stageEnd(start, metricAssign1Seconds, "core.assign1", n)
 	}
 	return out

@@ -48,44 +48,53 @@ func Assign2TailOrder(in *Instance, tailOrder TailOrder) Assignment {
 }
 
 func assign2WithTailOrder(in *Instance, gs []Linearized, tailOrder TailOrder) Assignment {
+	w := GetWorkspace()
+	defer PutWorkspace(w)
+	var out Assignment
+	w.assign2(in, gs, tailOrder, &out)
+	return out
+}
+
+// assign2 is the implementation behind Assign2Linearized and the ablation
+// entry points, reusing the workspace's order slice, sorters and server
+// heap so steady-state re-solves allocate nothing beyond the caller's out.
+func (w *Workspace) assign2(in *Instance, gs []Linearized, tailOrder TailOrder, out *Assignment) {
 	start := stageStart()
 	n, m := in.N(), in.M
-	out := NewAssignment(n)
+	out.Reset(n)
 
-	// Work counters, accumulated locally (a register increment next to a
-	// float compare) and flushed to the registry once at the end.
-	var sortCmps int
-
-	// Line 1: order all threads by g_i(ĉ_i), nonincreasing.
-	order := make([]int, n)
+	// Line 1: order all threads by g_i(ĉ_i), nonincreasing. The sorters
+	// are concrete sort.Interface values held in the workspace —
+	// sort.Stable over them visits the same comparison sequence as the
+	// sort.SliceStable closure this replaces (both are stable, so the
+	// permutation is identical too) without its per-call allocations.
+	if cap(w.order) >= n {
+		w.order = w.order[:n]
+	} else {
+		w.order = make([]int, n)
+	}
+	order := w.order
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		sortCmps++
-		return gs[order[a]].UHat > gs[order[b]].UHat
-	})
+	w.byUHat = uhatSorter{order: order, gs: gs}
+	sort.Stable(&w.byUHat)
+	sortCmps := w.byUHat.cmps
 	// Line 2: re-sort the tail (threads m+1..n in that ordering).
 	if n > m {
-		tail := order[m:]
 		switch tailOrder {
-		case TailBySlope:
-			sort.SliceStable(tail, func(a, b int) bool {
-				sortCmps++
-				return gs[tail[a]].Slope() > gs[tail[b]].Slope()
-			})
-		case TailByCHatDesc:
-			sort.SliceStable(tail, func(a, b int) bool {
-				sortCmps++
-				return gs[tail[a]].CHat > gs[tail[b]].CHat
-			})
+		case TailBySlope, TailByCHatDesc:
+			w.byTail = tailSorter{order: order[m:], gs: gs, byCHat: tailOrder == TailByCHatDesc}
+			sort.Stable(&w.byTail)
+			sortCmps += w.byTail.cmps
 		case TailByUHat:
 			// Keep the line-1 ordering.
 		}
 	}
 
 	// Lines 3–4: max-heap of residual server capacities.
-	h := newServerHeap(m, in.C)
+	w.h2.reset(m, in.C)
+	h := &w.h2
 
 	// Lines 5–10: serve threads in order from the fullest server.
 	for _, i := range order {
@@ -100,12 +109,11 @@ func assign2WithTailOrder(in *Instance, gs []Linearized, tailOrder TailOrder) As
 	}
 	if !start.IsZero() {
 		metricAssign2Calls.Inc()
-		metricAssign2SortCmps.Add(uint64(sortCmps))
+		metricAssign2SortCmps.Add(sortCmps)
 		// n updateTop calls plus every sift-down swap they performed.
 		metricAssign2HeapOps.Add(uint64(n) + uint64(h.swaps))
 		stageEnd(start, metricAssign2Seconds, "core.assign2", n)
 	}
-	return out
 }
 
 // serverHeap is a binary max-heap over server residual capacities.
@@ -122,11 +130,23 @@ type serverHeap struct {
 // newServerHeap builds a heap of m servers, all with residual c. All keys
 // equal means any order is a valid heap.
 func newServerHeap(m int, c float64) *serverHeap {
-	entries := make([]serverEntry, m)
-	for j := range entries {
-		entries[j] = serverEntry{id: j, residual: c}
+	h := &serverHeap{}
+	h.reset(m, c)
+	return h
+}
+
+// reset refills the heap with m servers at residual c, reusing the entry
+// array when it is large enough.
+func (h *serverHeap) reset(m int, c float64) {
+	if cap(h.entries) >= m {
+		h.entries = h.entries[:m]
+	} else {
+		h.entries = make([]serverEntry, m)
 	}
-	return &serverHeap{entries: entries}
+	for j := range h.entries {
+		h.entries[j] = serverEntry{id: j, residual: c}
+	}
+	h.swaps = 0
 }
 
 // peek returns the server with the most remaining resource.

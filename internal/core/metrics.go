@@ -25,12 +25,18 @@ var (
 	metricLinearizeCalls = telemetry.Default.Counter("aa_core_linearize_total")
 
 	metricAssign1Calls = telemetry.Default.Counter("aa_core_assign1_total")
-	// Greedy passes are Algorithm 1's outer iterations (one per thread);
-	// fit-checks count how many (unassigned thread, fullest server)
-	// candidates its scans examined — the mn² term of Theorem V.16's
-	// runtime, n(n+1)/2 scans of the fullest server here.
+	// Greedy passes are Algorithm 1's outer iterations (one per thread).
+	// Fit-checks and server ops count the work each implementation
+	// actually performed, accumulated inside the loops rather than derived
+	// from a formula: the reference scan fit-checks every unassigned
+	// thread against the fullest server (n(n+1)/2 total) and walks all
+	// m−1 other servers per pass, while the heap fast path fit-checks only
+	// the full-queue tops it inspects (≤ 2n total) and counts one server
+	// heap update plus its sift-down swaps per pass. The gap between the
+	// two is the measured face of the O(mn²) → O((n+m) log(n+m)) rewrite.
 	metricAssign1Passes    = telemetry.Default.Counter("aa_core_assign1_greedy_passes_total")
 	metricAssign1FitChecks = telemetry.Default.Counter("aa_core_assign1_fit_checks_total")
+	metricAssign1ServerOps = telemetry.Default.Counter("aa_core_assign1_server_ops_total")
 
 	metricAssign2Calls = telemetry.Default.Counter("aa_core_assign2_total")
 	// Sort comparisons (lines 1–2 of Algorithm 2) plus heap operations

@@ -76,6 +76,28 @@ func NewAssignment(n int) Assignment {
 	return a
 }
 
+// Reset reinitializes the assignment for n threads, reusing the backing
+// arrays when they are large enough — the piece that lets Workspace-based
+// solvers rewrite an Assignment every solve without allocating.
+func (a *Assignment) Reset(n int) {
+	if cap(a.Server) >= n {
+		a.Server = a.Server[:n]
+	} else {
+		a.Server = make([]int, n)
+	}
+	if cap(a.Alloc) >= n {
+		a.Alloc = a.Alloc[:n]
+	} else {
+		a.Alloc = make([]float64, n)
+	}
+	for i := range a.Server {
+		a.Server[i] = -1
+	}
+	for i := range a.Alloc {
+		a.Alloc[i] = 0
+	}
+}
+
 // Utility returns the total utility Σ f_i(Alloc[i]) of the assignment
 // under the given instance.
 func (a Assignment) Utility(in *Instance) float64 {

@@ -239,10 +239,19 @@ func runTrial(spec Spec, sp SweepPoint, r *rng.Rand) (map[string]float64, map[st
 	if err != nil {
 		return nil, nil, err
 	}
-	so := core.SuperOptimal(in)
-	gs := core.Linearize(in, so)
-	a2 := core.Assign2Linearized(in, gs)
-	a1 := core.Assign1Linearized(in, gs)
+	// The paper pipeline runs through a pooled workspace: across a
+	// 1000-trial sweep the worker reuses the same scratch buffers, so the
+	// only per-trial allocations left are the instance itself and the two
+	// assignment slices. The workspace methods are bit-identical to the
+	// package-level calls, and none of these stages draws from r, so the
+	// published rng stream (gen → UR → RU → RR) is unchanged.
+	w := core.GetWorkspace()
+	defer core.PutWorkspace(w)
+	so := w.SuperOptimal(in)
+	gs := w.Linearize(in, so)
+	var a1, a2 core.Assignment
+	w.Assign2Linearized(in, gs, &a2)
+	w.Assign1Linearized(in, gs, &a1)
 	u2 := a2.Utility(in)
 
 	// The randomized heuristics must draw in this exact order (UR, RU,

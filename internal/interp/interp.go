@@ -127,6 +127,21 @@ func (l *Linear) Min() float64 { return l.xs[0] }
 // Max returns the right end of the domain.
 func (l *Linear) Max() float64 { return l.xs[len(l.xs)-1] }
 
+// InvDeriv returns the right endpoint of the last segment in the initial
+// run of segments with slope >= lambda, or Min() when the first segment is
+// already below lambda. For concave data (nonincreasing slopes) this is the
+// largest x with DerivAt(x) >= lambda.
+func (l *Linear) InvDeriv(lambda float64) float64 {
+	best := l.xs[0]
+	for i := 0; i+1 < len(l.xs); i++ {
+		if (l.ys[i+1]-l.ys[i])/(l.xs[i+1]-l.xs[i]) < lambda {
+			break
+		}
+		best = l.xs[i+1]
+	}
+	return best
+}
+
 // Knots returns copies of the sample points.
 func (l *Linear) Knots() (xs, ys []float64) {
 	return append([]float64(nil), l.xs...), append([]float64(nil), l.ys...)
@@ -266,6 +281,92 @@ func (p *PCHIP) Min() float64 { return p.xs[0] }
 
 // Max returns the right end of the domain.
 func (p *PCHIP) Max() float64 { return p.xs[len(p.xs)-1] }
+
+// InvDeriv returns the largest x in the domain with DerivAt(x) >= lambda,
+// or Min() when the derivative is below lambda everywhere.
+//
+// Within a knot interval the Hermite derivative is the quadratic
+//
+//	p'(t) = A·t² + B·t + C,  t = (x - x_i)/h,
+//	A = 3(d_i + d_{i+1}) - 6Δ,  B = 6Δ - 4d_i - 2d_{i+1},  C = d_i,
+//
+// where Δ is the secant slope, so the superlevel set {p' >= λ} is resolved
+// exactly per segment by a quadratic solve. Segments are scanned right to
+// left and the first nonempty superlevel set yields the supremum. This is
+// O(#segments) with no curve evaluations, replacing the generic derivative
+// bisection (~50 DerivAt calls per query) for callers that need the inverse
+// in a hot loop.
+func (p *PCHIP) InvDeriv(lambda float64) float64 {
+	for i := len(p.xs) - 2; i >= 0; i-- {
+		h := p.xs[i+1] - p.xs[i]
+		del := (p.ys[i+1] - p.ys[i]) / h
+		a := 3*(p.d[i]+p.d[i+1]) - 6*del
+		b := 6*del - 4*p.d[i] - 2*p.d[i+1]
+		if t, ok := largestSuplevel(a, b, p.d[i]-lambda); ok {
+			x := p.xs[i] + t*h
+			// Guard the affine map against rounding past the interval.
+			if x > p.xs[i+1] {
+				x = p.xs[i+1]
+			}
+			if x < p.xs[i] {
+				x = p.xs[i]
+			}
+			return x
+		}
+	}
+	return p.xs[0]
+}
+
+// largestSuplevel returns sup{t ∈ [0,1] : q(t) >= 0} for the quadratic
+// q(t) = a·t² + b·t + c, and whether that set is nonempty.
+func largestSuplevel(a, b, c float64) (float64, bool) {
+	if a+b+c >= 0 { // q(1) >= 0: the supremum is the right endpoint.
+		return 1, true
+	}
+	if a == 0 {
+		if b <= 0 {
+			// Constant or decreasing with q(1) < 0: q >= 0 up to the
+			// single crossing, if it lies in the interval at all.
+			if b == 0 {
+				return 0, c >= 0
+			}
+			t := -c / b
+			return t, t >= 0
+		}
+		return 0, false // increasing with q(1) < 0: negative throughout
+	}
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return 0, false // no real roots and q(1) < 0: negative throughout
+	}
+	// Numerically stable root pair (avoids cancellation in -b ± √disc).
+	s := math.Sqrt(disc)
+	var w float64
+	if b >= 0 {
+		w = -0.5 * (b + s)
+	} else {
+		w = -0.5 * (b - s)
+	}
+	r1 := w / a
+	r2 := 0.0
+	if w != 0 {
+		r2 = c / w
+	}
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	if a < 0 {
+		// Concave parabola: q >= 0 exactly on [r1, r2]. Since q(1) < 0 the
+		// interval lies entirely left or right of 1.
+		if r1 > 1 {
+			return 0, false
+		}
+		return r2, r2 >= 0
+	}
+	// Convex parabola: q >= 0 on (-∞, r1] ∪ [r2, ∞); q(1) < 0 pins
+	// 1 ∈ (r1, r2), so within [0,1] only [0, r1] can qualify.
+	return r1, r1 >= 0
+}
 
 // Knots returns copies of the sample points.
 func (p *PCHIP) Knots() (xs, ys []float64) {

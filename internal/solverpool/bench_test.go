@@ -49,6 +49,29 @@ func BenchmarkSolveBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveSession is the steady-state batch hot loop: one Session
+// (one workspace) and one reused output assignment re-solving instances
+// back to back. The number to watch is allocs/op — it must be zero.
+func BenchmarkSolveSession(b *testing.B) {
+	ins := benchBatch(b, 8, 400)
+	s := NewSession()
+	defer s.Close()
+	var out core.Assignment
+	ctx := context.Background()
+	for _, in := range ins { // size the workspace before counting allocs
+		if err := s.Solve(ctx, in, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Solve(ctx, ins[i%len(ins)], &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSolveSingle is the per-request overhead of going through the
 // pool versus calling core.Assign2 directly.
 func BenchmarkSolveSingle(b *testing.B) {

@@ -1,0 +1,8 @@
+//go:build race
+
+package solverpool
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation assertions are skipped under it (instrumentation
+// allocates).
+const raceEnabled = true

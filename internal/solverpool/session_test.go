@@ -1,0 +1,83 @@
+package solverpool
+
+import (
+	"context"
+	"testing"
+
+	"aa/internal/core"
+	"aa/internal/gen"
+	"aa/internal/rng"
+)
+
+// TestSessionMatchesAssign2 demands bit-identity between the session's
+// workspace-driven solve and the allocating core.Assign2 across a spread
+// of instance sizes through one reused session and output assignment.
+func TestSessionMatchesAssign2(t *testing.T) {
+	s := NewSession()
+	defer s.Close()
+	var out core.Assignment
+	base := rng.New(31)
+	ctx := context.Background()
+	for trial := 0; trial < 25; trial++ {
+		r := base.Split(uint64(trial))
+		in, err := gen.Instance(gen.DefaultUniform, 1+r.Intn(8), 100, 1+r.Intn(80), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Solve(ctx, in, &out); err != nil {
+			t.Fatal(err)
+		}
+		want := core.Assign2(in)
+		for i := range want.Server {
+			if out.Server[i] != want.Server[i] || out.Alloc[i] != want.Alloc[i] {
+				t.Fatalf("trial %d thread %d: session (%d,%v) != core.Assign2 (%d,%v)",
+					trial, i, out.Server[i], out.Alloc[i], want.Server[i], want.Alloc[i])
+			}
+		}
+	}
+}
+
+// TestSessionSolveCancellation: a dead context aborts the solve before it
+// writes anything.
+func TestSessionSolveCancellation(t *testing.T) {
+	s := NewSession()
+	defer s.Close()
+	in, err := gen.Instance(gen.DefaultUniform, 4, 100, 20, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out core.Assignment
+	if err := s.Solve(ctx, in, &out); err != context.Canceled {
+		t.Fatalf("cancelled solve returned %v, want context.Canceled", err)
+	}
+}
+
+// TestSessionSolveZeroAllocs pins the steady-state allocation contract:
+// once the session's workspace and the output assignment have grown to
+// the workload's size, a solve allocates nothing.
+func TestSessionSolveZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	in, err := gen.Instance(gen.DefaultUniform, 8, 1000, 400, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession()
+	defer s.Close()
+	var out core.Assignment
+	ctx := context.Background()
+	if err := s.Solve(ctx, in, &out); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.Solve(ctx, in, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state session solve allocates %v times per run, want 0", allocs)
+	}
+}

@@ -18,6 +18,13 @@
 //     effect promptly even mid-instance, and waiters never block on a
 //     dead request.
 //
+//   - Allocation-free steady state. The solve path runs through a
+//     core.Workspace (SolveInstanceInto, or a long-lived Session): every
+//     scratch buffer a solve needs lives in the workspace and is reused,
+//     so a caller re-solving instances back to back performs zero heap
+//     allocations per solve once the buffers have grown to the
+//     workload's size.
+//
 //   - Deterministic by construction. The pool imposes no ordering of its
 //     own: results are reported to the slot the caller chose (SolveBatch
 //     writes answers by input index), so output never depends on
@@ -338,26 +345,71 @@ func (s Stats) String() string {
 		s.Workers, s.QueueDepth, s.Submitted, s.Rejected, s.Completed, s.Cancelled, s.Failed, s.SolveTime)
 }
 
-// SolveInstance runs Algorithm 2 on in with cancellation checks between
-// its three stages (super-optimal bound, linearization, assignment).
-// The result is identical to core.Assign2; the staging only adds the
-// points where a cancelled context can abort a large instance early.
-func SolveInstance(ctx context.Context, in *core.Instance) (core.Assignment, error) {
+// SolveInstanceInto runs Algorithm 2 on in through the caller's solver
+// workspace, writing the assignment into out (resized as needed), with
+// cancellation checks between the three stages (super-optimal bound,
+// linearization, assignment). The result is bit-identical to core.Assign2;
+// the staging only adds the points where a cancelled context can abort a
+// large instance early. Once w and out have grown to the workload's size,
+// a solve performs no heap allocation — this is the batch hot loop.
+func SolveInstanceInto(ctx context.Context, in *core.Instance, w *core.Workspace, out *core.Assignment) error {
 	if err := in.Validate(); err != nil {
-		return core.Assignment{}, err
+		return err
 	}
 	if err := ctx.Err(); err != nil {
-		return core.Assignment{}, err
+		return err
 	}
-	so := core.SuperOptimal(in)
+	so := w.SuperOptimal(in)
 	if err := ctx.Err(); err != nil {
-		return core.Assignment{}, err
+		return err
 	}
-	gs := core.Linearize(in, so)
+	gs := w.Linearize(in, so)
 	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w.Assign2Linearized(in, gs, out)
+	return nil
+}
+
+// SolveInstance is the allocating convenience form of SolveInstanceInto:
+// it borrows a pooled workspace for the solve and returns a fresh
+// Assignment the caller owns.
+func SolveInstance(ctx context.Context, in *core.Instance) (core.Assignment, error) {
+	w := core.GetWorkspace()
+	defer core.PutWorkspace(w)
+	var out core.Assignment
+	if err := SolveInstanceInto(ctx, in, w, &out); err != nil {
 		return core.Assignment{}, err
 	}
-	return core.Assign2Linearized(in, gs), nil
+	return out, nil
+}
+
+// Session is a single-goroutine solver context: one workspace borrowed
+// from the package pool for the session's lifetime, so a caller that
+// re-solves instances back to back (a simulation loop, a request handler
+// pinned to a connection) pays zero steady-state allocation without
+// touching the pool on every solve. Not safe for concurrent use; Close
+// returns the workspace to the pool.
+type Session struct {
+	w *core.Workspace
+}
+
+// NewSession borrows a workspace and wraps it in a Session.
+func NewSession() *Session { return &Session{w: core.GetWorkspace()} }
+
+// Solve runs Algorithm 2 on in into out, reusing the session's workspace.
+// The assignment written to out is bit-identical to core.Assign2's.
+func (s *Session) Solve(ctx context.Context, in *core.Instance, out *core.Assignment) error {
+	return SolveInstanceInto(ctx, in, s.w, out)
+}
+
+// Close returns the session's workspace to the pool. Using the session
+// after Close panics.
+func (s *Session) Close() {
+	if s.w != nil {
+		core.PutWorkspace(s.w)
+		s.w = nil
+	}
 }
 
 // solveVerified is SolveInstance plus the opt-in post-solve check: when

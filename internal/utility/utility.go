@@ -336,17 +336,7 @@ func (p *PiecewiseLinear) Cap() float64 { return p.c }
 // Because the curve is concave the slopes are nonincreasing, so the answer
 // is the right endpoint of the last segment with slope >= lambda.
 func (p *PiecewiseLinear) InverseDeriv(lambda float64) float64 {
-	xs, ys := p.curve.Knots()
-	best := 0.0
-	for i := 0; i+1 < len(xs); i++ {
-		slope := (ys[i+1] - ys[i]) / (xs[i+1] - xs[i])
-		if slope >= lambda {
-			best = xs[i+1]
-		} else {
-			break
-		}
-	}
-	return best
+	return p.curve.InvDeriv(lambda)
 }
 
 // Sampled is a smooth utility backed by PCHIP interpolation of sampled
@@ -399,6 +389,20 @@ func (s *Sampled) Deriv(x float64) float64 {
 
 // Cap returns the domain bound.
 func (s *Sampled) Cap() float64 { return s.c }
+
+// InverseDeriv returns the largest x with Deriv(x) >= lambda, resolved in
+// closed form: the PCHIP derivative is quadratic within each knot interval,
+// so each segment's superlevel set is an exact quadratic solve
+// (interp.PCHIP.InvDeriv). This replaces the generic derivative bisection
+// (~50 Deriv evaluations per query at the default tolerance) in the
+// water-filling hot loop; sampled curves are what the paper's workload
+// generator emits, so this is the path nearly every λ-probe takes.
+func (s *Sampled) InverseDeriv(lambda float64) float64 {
+	if lambda <= 0 {
+		return s.c
+	}
+	return s.curve.InvDeriv(lambda)
+}
 
 // ---------------------------------------------------------------------------
 // Combinators
