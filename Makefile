@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmtcheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke bench-json bench-regress ci bench figures examples cover clean
+.PHONY: all build test vet fmtcheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke serve-smoke staticcheck vulncheck bench-json bench-regress ci bench figures examples cover clean
 
 all: build vet fmtcheck test
 
@@ -49,6 +49,29 @@ telemetry-smoke:
 metrics-smoke:
 	./scripts/metrics_smoke.sh
 
+# End-to-end aaserve check: solve + batch over HTTP, live aa_engine_*
+# metrics, graceful SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Static analysis beyond go vet. Skips with a notice when the binary is
+# not installed (CI installs it; no module dependency is added).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Known-vulnerability scan of the dependency graph (stdlib only here,
+# so this mostly guards the toolchain version). Same skip rule.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 # Emit a bench/BENCH_<git rev>.json snapshot of the solver-core benchmark
 # matrix (ns/op + allocs/op) without gating. BENCHTIME=1s for more stable
 # numbers.
@@ -63,7 +86,7 @@ bench-regress:
 	./scripts/bench_regress.sh
 
 # Mirror of .github/workflows/ci.yml.
-ci: build vet fmtcheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke bench-regress
+ci: build vet fmtcheck staticcheck vulncheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke serve-smoke bench-regress
 
 # One benchmark per paper figure/claim plus micro-benchmarks.
 bench:

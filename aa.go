@@ -23,9 +23,14 @@
 //	sol := aa.Solve(inst)
 //	fmt.Println(sol.Utility(inst), sol.Server, sol.Alloc)
 //
-// For concurrent workloads, SolveBatch and SolverPool fan independent
-// solves out across a worker pool with per-request cancellation,
-// bounded queueing and backpressure (see internal/solverpool).
+// Every solver entry point here is a thin shim over internal/engine —
+// the repository's unified request pipeline (named-backend registry +
+// workspace pooling + invariant checking + telemetry + cancellation) —
+// so a library call, an experiment trial, a CLI invocation and an
+// aaserve request all execute the same code path. For concurrent
+// workloads, SolveBatch and SolverPool fan independent solves out
+// across a worker pool with per-request cancellation, bounded queueing
+// and backpressure (see internal/solverpool).
 //
 // Beyond Solve, the package re-exports the super-optimal upper bound,
 // Algorithm 1, the exact solvers for small instances, the comparison
@@ -42,6 +47,7 @@ import (
 
 	"aa/internal/check"
 	"aa/internal/core"
+	"aa/internal/engine"
 	"aa/internal/experiment"
 	"aa/internal/gen"
 	"aa/internal/rng"
@@ -121,20 +127,43 @@ func ValidateUtility(f Utility, samples int, tol float64) error {
 	return utility.Validate(f, samples, tol)
 }
 
+// engineSolve routes a facade call through the shared engine pipeline.
+// The facade's no-error signatures predate the engine; an invalid
+// instance (or a post-solve check violation under EnableChecks) yields
+// the zero Assignment rather than a bogus result.
+func engineSolve(backend string, req *engine.Request) Assignment {
+	req.Backend = backend
+	resp, err := engine.Default().Solve(context.Background(), req)
+	if err != nil {
+		return Assignment{}
+	}
+	return resp.Assignment
+}
+
 // Solve runs Algorithm 2, the paper's O(n (log mC)²) assignment with
-// approximation ratio Alpha. This is the recommended solver.
-func Solve(in *Instance) Assignment { return core.Assign2(in) }
+// approximation ratio Alpha, through the engine pipeline. This is the
+// recommended solver.
+func Solve(in *Instance) Assignment {
+	return engineSolve("assign2", &engine.Request{Instance: in})
+}
 
 // SolveAlgorithm1 runs Algorithm 1, the O(mn² + n (log mC)²) greedy with
 // the same guarantee; it is kept for completeness and ablation.
-func SolveAlgorithm1(in *Instance) Assignment { return core.Assign1(in) }
+func SolveAlgorithm1(in *Instance) Assignment {
+	return engineSolve("assign1", &engine.Request{Instance: in})
+}
 
 // SolveExact finds an optimal assignment by branch and bound. It is
 // exponential in the worst case (the problem is NP-hard) and refuses
 // instances whose search exceeds maxNodes (0 = default limit); intended
 // for small instances and calibration.
 func SolveExact(in *Instance, maxNodes int) (Assignment, error) {
-	return core.BranchAndBound(in, maxNodes)
+	resp, err := engine.Default().Solve(context.Background(),
+		&engine.Request{Instance: in, Backend: "exact", MaxNodes: maxNodes})
+	if err != nil {
+		return Assignment{}, err
+	}
+	return resp.Assignment, nil
 }
 
 // SuperOptimal computes the paper's pooled-capacity upper bound: no
@@ -152,7 +181,9 @@ func Improve(in *Instance, a Assignment, maxMoves int) (Assignment, int) {
 // SolveGreedyMarginal is a strong baseline beyond the paper's four
 // heuristics: marginal-gain greedy placement with optimal per-server
 // allocation. No approximation guarantee; slower than Solve.
-func SolveGreedyMarginal(in *Instance) Assignment { return core.AssignGreedyMarginal(in) }
+func SolveGreedyMarginal(in *Instance) Assignment {
+	return engineSolve("greedy", &engine.Request{Instance: in})
+}
 
 // Polish keeps an assignment's placement but re-solves every server's
 // allocation optimally against the original utilities. Utility never
@@ -186,14 +217,26 @@ func NewSolverPool(opts SolverPoolOptions) *SolverPool { return solverpool.New(o
 
 // SolveBatch solves the instances concurrently across GOMAXPROCS
 // workers and returns one Algorithm 2 assignment per instance, in input
-// order. The first failure cancels the remaining solves; cancelling ctx
-// returns promptly with ctx.Err(). Callers with a steady stream of
-// requests should hold a NewSolverPool instead of paying pool startup
-// per batch.
+// order, through the engine pipeline. The first failure cancels the
+// remaining solves; cancelling ctx returns promptly with ctx.Err().
+// Callers with a steady stream of requests should hold a NewSolverPool
+// instead of paying pool startup per batch.
 func SolveBatch(ctx context.Context, ins []*Instance) ([]Assignment, error) {
-	p := solverpool.New(solverpool.Options{})
-	defer p.Close()
-	return p.SolveBatch(ctx, ins)
+	eng := engine.New(engine.Options{})
+	defer eng.Close()
+	reqs := make([]*engine.Request, len(ins))
+	for i, in := range ins {
+		reqs[i] = &engine.Request{Instance: in}
+	}
+	resps, err := eng.SolveBatch(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Assignment, len(resps))
+	for i, resp := range resps {
+		out[i] = resp.Assignment
+	}
+	return out, nil
 }
 
 // Verification (internal/check): opt-in invariant checking for solver

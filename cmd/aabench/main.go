@@ -37,6 +37,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,7 +45,7 @@ import (
 	"path/filepath"
 	"time"
 
-	"aa/internal/check"
+	"aa/internal/cliutil"
 	"aa/internal/experiment"
 	"aa/internal/hetero"
 	"aa/internal/telemetry"
@@ -60,7 +61,6 @@ func main() {
 // run is the testable body of the command.
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("aabench", flag.ContinueOnError)
-	fs.SetOutput(io.Discard)
 	var (
 		fig      = fs.String("fig", "all", "figure id to run, or 'all'")
 		trials   = fs.Int("trials", experiment.DefaultTrials, "random trials per sweep point")
@@ -73,39 +73,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 		plot     = fs.Bool("plot", false, "render each figure as an ASCII chart as well")
 		rom      = fs.Bool("rom", false, "also print the ratio-of-means estimator table")
 		verbose  = fs.Bool("v", false, "print a one-line telemetry summary to stderr at exit")
-		doCheck  = fs.Bool("check", os.Getenv("AA_CHECK") == "1",
-			"verify every trial's solver outputs (also AA_CHECK=1)")
-		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. localhost:0)")
-		traceOut    = fs.String("trace-out", "", "write telemetry span/event JSONL to this file")
 	)
-	if err := fs.Parse(args); err != nil {
+	var common cliutil.Common
+	common.AddFlags(fs)
+	if err := cliutil.Parse(fs, args, stderr); err != nil {
+		if errors.Is(err, cliutil.ErrHelp) {
+			return nil
+		}
 		return err
 	}
 	if *workers == 0 {
 		*workers = *parallel
 	}
-	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format, a...) }
-	shutdownTelemetry, err := telemetry.Setup(*metricsAddr, *traceOut, logf)
+	shutdown, err := common.Start("aabench", stderr)
 	if err != nil {
 		return err
 	}
+	defer shutdown()
 	if *verbose {
 		telemetry.Enable()
 		defer printTelemetrySummary(stderr)
 	}
-	if *doCheck {
-		check.Enable()
-		defer func() {
-			check.Disable()
-			checks, violations := check.Totals()
-			fmt.Fprintf(stderr, "aabench: check: %d checks, %d violations\n", checks, violations)
-		}()
-	}
-	defer func() {
-		if err := shutdownTelemetry(); err != nil {
-			logf("aabench: telemetry shutdown: %v\n", err)
-		}
-	}()
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

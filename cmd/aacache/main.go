@@ -10,7 +10,8 @@
 //
 //	aacache [-sockets 2] [-sets 64] [-ways 16] [-n 8]
 //	        [-mix balanced|hungry|streaming] [-accesses 40000] [-seed 1]
-//	        [-adaptive 0]
+//	        [-adaptive 0] [-metrics-addr host:port]
+//	        [-trace-out file.jsonl] [-check]
 //
 // With -adaptive N > 0 the tool additionally runs the online-measurement
 // controller (no offline profiling; curves are learned from the
@@ -19,28 +20,29 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"aa/internal/cachesim"
+	"aa/internal/cliutil"
 	"aa/internal/core"
 	"aa/internal/rng"
 	"aa/internal/tableio"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "aacache: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // run is the testable body of the command.
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("aacache", flag.ContinueOnError)
-	fs.SetOutput(io.Discard)
 	var (
 		sockets  = fs.Int("sockets", 2, "number of sockets (AA servers)")
 		sets     = fs.Int("sets", 64, "cache sets per socket")
@@ -51,9 +53,19 @@ func run(args []string, stdout io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "random seed")
 		adaptive = fs.Int("adaptive", 0, "also run the online controller for this many epochs")
 	)
-	if err := fs.Parse(args); err != nil {
+	var common cliutil.Common
+	common.AddFlags(fs)
+	if err := cliutil.Parse(fs, args, stderr); err != nil {
+		if errors.Is(err, cliutil.ErrHelp) {
+			return nil
+		}
 		return err
 	}
+	shutdown, err := common.Start("aacache", stderr)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
 
 	cfg := cachesim.Config{Sets: *sets, Ways: *ways, LineSize: 64}
 	if err := cfg.Validate(); err != nil {
@@ -87,7 +99,10 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	sol := core.Assign2(inst)
+	sol, err := cachesim.Solve(inst)
+	if err != nil {
+		return err
+	}
 	refined := cachesim.OptimizeWays(cfg, *sockets, workloads, profiles, sol)
 	aaRes, err := cachesim.CoRunWays(cfg, *sockets, workloads, sol, refined)
 	if err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestRunAllMixes(t *testing.T) {
 		var out bytes.Buffer
 		err := run([]string{
 			"-mix", mix, "-n", "4", "-sets", "16", "-ways", "4", "-accesses", "4000",
-		}, &out)
+		}, &out, io.Discard)
 		if err != nil {
 			t.Fatalf("%s: %v", mix, err)
 		}
@@ -28,7 +29,7 @@ func TestRunAdaptiveMode(t *testing.T) {
 	var out bytes.Buffer
 	err := run([]string{
 		"-n", "4", "-sets", "16", "-ways", "4", "-accesses", "3000", "-adaptive", "3",
-	}, &out)
+	}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,10 +43,10 @@ func TestRunAdaptiveMode(t *testing.T) {
 
 func TestRunRejectsBadConfig(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-mix", "warp"}, &out); err == nil {
+	if err := run([]string{"-mix", "warp"}, &out, io.Discard); err == nil {
 		t.Error("unknown mix accepted")
 	}
-	if err := run([]string{"-ways", "0"}, &out); err == nil {
+	if err := run([]string{"-ways", "0"}, &out, io.Discard); err == nil {
 		t.Error("zero ways accepted")
 	}
 }

@@ -5,32 +5,38 @@
 //
 //	aagen [-dist uniform|normal|powerlaw|discrete] [-m 8] [-c 1000]
 //	      [-n 40] [-seed 1] [-alpha 2] [-gamma 0.85] [-theta 5]
+//	      [-metrics-addr host:port] [-trace-out file.jsonl] [-check]
 //
-// The instance is written to stdout.
+// The instance is written to stdout. The observability flags
+// (-metrics-addr, -trace-out, -check) are the shared trio every AA
+// binary accepts (see internal/cliutil); generation itself performs no
+// solves, so they matter mostly when aagen is embedded in scripted
+// pipelines that expect a uniform flag surface.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"aa/internal/cliutil"
 	"aa/internal/gen"
 	"aa/internal/instio"
 	"aa/internal/rng"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "aagen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // run is the testable body of the command.
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("aagen", flag.ContinueOnError)
-	fs.SetOutput(io.Discard)
 	var (
 		distName = fs.String("dist", "uniform", "value distribution: uniform, normal, powerlaw, discrete")
 		m        = fs.Int("m", 8, "number of servers")
@@ -41,9 +47,19 @@ func run(args []string, stdout io.Writer) error {
 		gamma    = fs.Float64("gamma", 0.85, "low-value probability (dist=discrete)")
 		theta    = fs.Float64("theta", 5, "high/low value ratio (dist=discrete)")
 	)
-	if err := fs.Parse(args); err != nil {
+	var common cliutil.Common
+	common.AddFlags(fs)
+	if err := cliutil.Parse(fs, args, stderr); err != nil {
+		if errors.Is(err, cliutil.ErrHelp) {
+			return nil
+		}
 		return err
 	}
+	shutdown, err := common.Start("aagen", stderr)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
 
 	var dist gen.Dist
 	switch *distName {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 func TestRunGeneratesDecodableInstance(t *testing.T) {
 	for _, dist := range []string{"uniform", "normal", "powerlaw", "discrete"} {
 		var out bytes.Buffer
-		err := run([]string{"-dist", dist, "-n", "6", "-m", "2", "-c", "100"}, &out)
+		err := run([]string{"-dist", dist, "-n", "6", "-m", "2", "-c", "100"}, &out, io.Discard)
 		if err != nil {
 			t.Fatalf("%s: %v", dist, err)
 		}
@@ -27,10 +28,10 @@ func TestRunGeneratesDecodableInstance(t *testing.T) {
 
 func TestRunDeterministicPerSeed(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run([]string{"-seed", "9", "-n", "4"}, &a); err != nil {
+	if err := run([]string{"-seed", "9", "-n", "4"}, &a, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-seed", "9", "-n", "4"}, &b); err != nil {
+	if err := run([]string{"-seed", "9", "-n", "4"}, &b, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -40,7 +41,7 @@ func TestRunDeterministicPerSeed(t *testing.T) {
 
 func TestRunRejectsUnknownDist(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-dist", "warp"}, &out)
+	err := run([]string{"-dist", "warp"}, &out, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "unknown distribution") {
 		t.Errorf("err = %v", err)
 	}
@@ -48,7 +49,7 @@ func TestRunRejectsUnknownDist(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-n", "not-a-number"}, &out); err == nil {
+	if err := run([]string{"-n", "not-a-number"}, &out, io.Discard); err == nil {
 		t.Error("bad flag accepted")
 	}
 }

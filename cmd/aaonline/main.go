@@ -26,6 +26,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,12 +36,11 @@ import (
 	"strings"
 	"sync"
 
-	"aa/internal/check"
+	"aa/internal/cliutil"
 	"aa/internal/online"
 	"aa/internal/rng"
 	"aa/internal/solverpool"
 	"aa/internal/tableio"
-	"aa/internal/telemetry"
 	"aa/internal/utility"
 )
 
@@ -54,47 +54,33 @@ func main() {
 // run is the testable body of the command.
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("aaonline", flag.ContinueOnError)
-	fs.SetOutput(io.Discard)
 	var (
-		m           = fs.Int("m", 4, "number of servers")
-		c           = fs.Float64("c", 100, "capacity per server")
-		events      = fs.Int("events", 300, "number of churn events")
-		seed        = fs.Uint64("seed", 1, "random seed")
-		threshold   = fs.Float64("threshold", 0.828, "hybrid rebuild threshold (fraction of the SO bound)")
-		costsFlag   = fs.String("costs", "0,1,5,20,100,500", "comma-separated per-migration costs to sweep")
-		workers     = fs.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
-		timeout     = fs.Duration("timeout", 0, "overall deadline for the run (0 = none)")
-		csvDir      = fs.String("csv", "", "directory to write the summary and sweep tables as CSV (optional)")
-		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. localhost:0)")
-		traceOut    = fs.String("trace-out", "", "write telemetry span/event JSONL to this file")
-		doCheck     = fs.Bool("check", os.Getenv("AA_CHECK") == "1",
-			"verify the live state after every event (also AA_CHECK=1)")
+		m         = fs.Int("m", 4, "number of servers")
+		c         = fs.Float64("c", 100, "capacity per server")
+		events    = fs.Int("events", 300, "number of churn events")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		threshold = fs.Float64("threshold", 0.828, "hybrid rebuild threshold (fraction of the SO bound)")
+		costsFlag = fs.String("costs", "0,1,5,20,100,500", "comma-separated per-migration costs to sweep")
+		workers   = fs.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
+		timeout   = fs.Duration("timeout", 0, "overall deadline for the run (0 = none)")
+		csvDir    = fs.String("csv", "", "directory to write the summary and sweep tables as CSV (optional)")
 	)
-	if err := fs.Parse(args); err != nil {
+	var common cliutil.Common
+	common.AddFlags(fs)
+	if err := cliutil.Parse(fs, args, stderr); err != nil {
+		if errors.Is(err, cliutil.ErrHelp) {
+			return nil
+		}
 		return err
 	}
 	if *events < 1 {
 		return fmt.Errorf("need at least one event")
 	}
-	if *doCheck {
-		check.Enable()
-		defer func() {
-			check.Disable()
-			checks, violations := check.Totals()
-			fmt.Fprintf(stderr, "aaonline: check: %d checks, %d violations\n", checks, violations)
-		}()
-	}
-
-	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format, a...) }
-	shutdownTelemetry, err := telemetry.Setup(*metricsAddr, *traceOut, logf)
+	shutdown, err := common.Start("aaonline", stderr)
 	if err != nil {
 		return err
 	}
-	defer func() {
-		if err := shutdownTelemetry(); err != nil {
-			logf("aaonline: telemetry shutdown: %v\n", err)
-		}
-	}()
+	defer shutdown()
 
 	costs, err := parseCosts(*costsFlag)
 	if err != nil {

@@ -1,0 +1,339 @@
+// Command aaserve runs the AA solver as a long-lived HTTP service: the
+// engine pipeline (pooled workspaces, telemetry, invariant checks,
+// cancellation and queue backpressure) behind two JSON endpoints.
+//
+// Usage:
+//
+//	aaserve [-addr localhost:8080] [-backend a2] [-workers 0] [-queue 0]
+//	        [-deadline 0] [-metrics-addr host:port]
+//	        [-trace-out file.jsonl] [-check]
+//
+// Endpoints:
+//
+//	POST /solve        one instance (internal/instio JSON) → assignment
+//	POST /solve/batch  JSON array of instances → array of assignments
+//	GET  /backends     the solver registry: one line per backend
+//	GET  /healthz      liveness probe
+//	GET  /metrics      Prometheus text exposition (plus /vars,
+//	                   /debug/vars and /debug/pprof/), the same handler
+//	                   the -metrics-addr flag serves elsewhere
+//
+// Per-request query parameters on /solve and /solve/batch:
+//
+//	backend   registry name or alias (default: the -backend flag)
+//	seed      uint64 seed for the randomized heuristics (default 1)
+//	deadline  per-request timeout like "500ms" (default: -deadline)
+//	check     "1" verifies the response through the check middleware
+//	maxnodes  node budget for backend=exact
+//
+// Responses: 200 with an assignment JSON (server, alloc, utility,
+// superOptimalBound) on success; 400 for malformed instances or unknown
+// backends; 422 when a requested check fails; 429 when the solve queue
+// is full (retry later); 504 when the deadline expires mid-solve.
+//
+// On SIGINT/SIGTERM the listener drains in-flight requests (up to 10s)
+// before the process exits. The startup line "aaserve: listening on
+// http://ADDR" is printed to stderr once the socket is bound; with
+// -addr ending in :0 the kernel picks the port and scripts parse that
+// line (scripts/serve_smoke.sh does exactly this).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"aa/internal/check"
+	"aa/internal/cliutil"
+	"aa/internal/core"
+	"aa/internal/engine"
+	"aa/internal/instio"
+	"aa/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "aaserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// server holds the engine and per-request defaults behind the handlers.
+type server struct {
+	eng      *engine.Engine
+	backend  string        // default backend for requests that name none
+	deadline time.Duration // default per-request deadline, 0 = none
+}
+
+// run is the testable body of the command. ready, when non-nil,
+// receives the bound address once the listener is up (tests use it
+// instead of parsing stderr).
+func run(args []string, stderr io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("aaserve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "localhost:8080", "listen address (use :0 for an ephemeral port)")
+		backend  = fs.String("backend", "a2", "default solver backend (see /backends)")
+		workers  = fs.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
+		queue    = fs.Int("queue", 0, "solve queue depth before 429s (0 = 2x workers)")
+		deadline = fs.Duration("deadline", 0, "default per-request deadline (0 = none)")
+	)
+	var common cliutil.Common
+	common.AddFlags(fs)
+	if err := cliutil.Parse(fs, args, stderr); err != nil {
+		if errors.Is(err, cliutil.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	shutdown, err := common.Start("aaserve", stderr)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+	// A serving process always meters itself: the /metrics endpoint is
+	// part of the API surface, not an opt-in debug flag.
+	telemetry.Enable()
+
+	if _, ok := engine.Lookup(*backend); !ok {
+		return fmt.Errorf("unknown default backend %q", *backend)
+	}
+	eng := engine.New(engine.Options{
+		Backend:    *backend,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Check:      common.Check,
+	})
+	defer eng.Close()
+	srv := &server{eng: eng, backend: *backend, deadline: *deadline}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.mux()}
+	fmt.Fprintf(stderr, "aaserve: listening on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigs:
+		fmt.Fprintf(stderr, "aaserve: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		<-serveErr // http.ErrServerClosed
+		return nil
+	}
+}
+
+// mux wires the handlers; split out so tests can drive the server
+// through httptest without a listener or signals.
+func (s *server) mux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/solve/batch", s.handleBatch)
+	mux.HandleFunc("/backends", handleBackends)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	// The telemetry handler owns /metrics, /vars, /debug/* and the
+	// index; mounting it at / keeps this binary's exposition identical
+	// to every other binary's -metrics-addr endpoint.
+	mux.Handle("/", telemetry.Handler(telemetry.Default))
+	return mux
+}
+
+// reqParams decodes the shared query parameters into an engine request.
+func (s *server) reqParams(r *http.Request, req *engine.Request) (time.Duration, error) {
+	q := r.URL.Query()
+	req.Backend = s.backend
+	if b := q.Get("backend"); b != "" {
+		req.Backend = b
+	}
+	req.Seed = 1
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad seed %q", v)
+		}
+		req.Seed = seed
+	}
+	if v := q.Get("maxnodes"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("bad maxnodes %q", v)
+		}
+		req.MaxNodes = n
+	}
+	req.Check = q.Get("check") == "1"
+	req.WantUtility = true
+	deadline := s.deadline
+	if v := q.Get("deadline"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return 0, fmt.Errorf("bad deadline %q", v)
+		}
+		deadline = d
+	}
+	return deadline, nil
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST an instance (see internal/instio for the JSON format)", http.StatusMethodNotAllowed)
+		return
+	}
+	var req engine.Request
+	deadline, err := s.reqParams(r, &req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	in, err := instio.Decode(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req.Instance = in
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	resp, err := s.eng.Submit(ctx, &req)
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	writeAssignment(w, in, resp)
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JSON array of instances", http.StatusMethodNotAllowed)
+		return
+	}
+	var proto engine.Request
+	deadline, err := s.reqParams(r, &proto)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var raw []json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		http.Error(w, fmt.Sprintf("batch body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(raw) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	ins := make([]*core.Instance, len(raw))
+	reqs := make([]*engine.Request, len(raw))
+	for i, msg := range raw {
+		in, err := instio.Decode(bytes.NewReader(msg))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("instance %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		r := proto
+		r.Instance = in
+		ins[i], reqs[i] = in, &r
+	}
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	resps, err := s.eng.SolveBatch(ctx, reqs)
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	out := make([]instio.AssignmentJSON, len(resps))
+	for i, resp := range resps {
+		out[i] = assignmentJSON(ins[i], resp)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+func handleBackends(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, name := range engine.Backends() {
+		bk, _ := engine.Lookup(name)
+		fmt.Fprintf(w, "%-10s %s", bk.Name, bk.Doc)
+		if len(bk.Aliases) > 0 {
+			fmt.Fprintf(w, " (aliases: %v)", bk.Aliases)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// writeSolveError maps engine pipeline errors onto HTTP status codes.
+func writeSolveError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, engine.ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499 // client went away; nginx's conventional code
+	case errors.Is(err, engine.ErrUnknownBackend), errors.Is(err, engine.ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, check.ErrInfeasible), errors.Is(err, check.ErrRatio):
+		status = http.StatusUnprocessableEntity
+	}
+	http.Error(w, err.Error(), status)
+}
+
+// assignmentJSON builds the wire response from an engine response
+// without re-solving: utility comes from the pipeline (WantUtility) and
+// the bound is recomputed only for backends that do not produce one.
+func assignmentJSON(in *core.Instance, resp *engine.Response) instio.AssignmentJSON {
+	bound := resp.Bound
+	if math.IsNaN(bound) {
+		bound = core.SuperOptimal(in).Total
+	}
+	return instio.AssignmentJSON{
+		Server:  resp.Assignment.Server,
+		Alloc:   resp.Assignment.Alloc,
+		Utility: resp.Utility,
+		Bound:   bound,
+	}
+}
+
+func writeAssignment(w http.ResponseWriter, in *core.Instance, resp *engine.Response) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(assignmentJSON(in, resp))
+}

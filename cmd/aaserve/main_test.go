@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"aa/internal/engine"
+	"aa/internal/instio"
+)
+
+const demoInstance = `{
+  "m": 2, "c": 100,
+  "threads": [
+    {"kind": "log", "scale": 5, "shift": 10},
+    {"kind": "power", "scale": 2, "beta": 0.5},
+    {"kind": "cappedLinear", "slope": 1, "knee": 30},
+    {"kind": "satexp", "scale": 3, "k": 20}
+  ]
+}`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng := engine.New(engine.Options{Backend: "a2", Workers: 2})
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer((&server{eng: eng, backend: "a2"}).mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postSolve(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postSolve(t, ts, "/solve?check=1", demoInstance)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var a instio.AssignmentJSON
+	if err := json.Unmarshal(body, &a); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(a.Server) != 4 || len(a.Alloc) != 4 {
+		t.Fatalf("short assignment: %+v", a)
+	}
+	if a.Utility <= 0 || a.Bound < a.Utility-1e-9 {
+		t.Fatalf("utility %v, bound %v", a.Utility, a.Bound)
+	}
+}
+
+func TestSolveBackendsAndSeeds(t *testing.T) {
+	ts := newTestServer(t)
+	for _, backend := range []string{"a1", "polish", "greedy", "uu", "ur", "exact"} {
+		resp, body := postSolve(t, ts, "/solve?backend="+backend+"&seed=7", demoInstance)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", backend, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	ts := newTestServer(t)
+	for _, tc := range []struct {
+		path, body string
+		status     int
+	}{
+		{"/solve", "not json", http.StatusBadRequest},
+		{"/solve?backend=nope", demoInstance, http.StatusBadRequest},
+		{"/solve?deadline=bogus", demoInstance, http.StatusBadRequest},
+		{"/solve?seed=minus", demoInstance, http.StatusBadRequest},
+		{"/solve/batch", "[]", http.StatusBadRequest},
+		{"/solve/batch", `[{"m": 0, "c": 1, "threads": []}]`, http.StatusBadRequest},
+	} {
+		resp, body := postSolve(t, ts, tc.path, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d: %s", tc.path, resp.StatusCode, tc.status, body)
+		}
+	}
+
+	get, err := http.Get(ts.URL + "/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /solve: status %d", get.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	batch := "[" + demoInstance + "," + demoInstance + "," + demoInstance + "]"
+	resp, body := postSolve(t, ts, "/solve/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out []instio.AssignmentJSON
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d results, want 3", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Utility != out[0].Utility {
+			t.Errorf("identical instances solved differently: %v vs %v", out[i].Utility, out[0].Utility)
+		}
+	}
+}
+
+func TestAuxiliaryEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	for path, want := range map[string]string{
+		"/healthz":  "ok",
+		"/backends": "assign2",
+		"/metrics":  "aa_",
+		"/vars":     "{",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(body, want) {
+			t.Errorf("%s: missing %q in:\n%s", path, want, body)
+		}
+	}
+}
+
+// TestServeAndShutdown exercises the real run() lifecycle: bind an
+// ephemeral port, solve once over TCP, then SIGTERM-drain.
+func TestServeAndShutdown(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-addr", "127.0.0.1:0"}, testWriter{t}, ready) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	resp, err := http.Post("http://"+addr+"/solve", "application/json", strings.NewReader(demoInstance))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// run() has SIGTERM notification installed before it reports ready,
+	// so raising it here reaches the drain path, not the default
+	// handler.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

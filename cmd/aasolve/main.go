@@ -9,29 +9,35 @@
 //
 // With no file argument the instance is read from stdin. The default
 // output is a human-readable table; -json emits machine-readable JSON
-// including the super-optimal upper bound. Beyond the paper's
-// algorithms, a2p is Algorithm 2 + allocation polish and ls is
-// Algorithm 2 + relocation/swap local search; gm is the marginal-gain
-// greedy baseline. -metrics-addr serves live /metrics, /vars and
-// /debug/pprof while solving; -trace-out appends solver-stage span
-// events as JSONL (useful for profiling a single large instance).
-// -check (or AA_CHECK=1) verifies the solution through internal/check:
-// strict feasibility for every algorithm, plus the α-ratio guarantee
-// for the algorithms that carry one (a1, a2, a2p, ls).
+// including the super-optimal upper bound. Every solve routes through
+// the internal/engine registry — -algo names accept both the short CLI
+// aliases above and the registry's canonical names (assign2, polish,
+// greedy, ...). Beyond the paper's algorithms, a2p is Algorithm 2 +
+// allocation polish and ls is Algorithm 2 + relocation/swap local
+// search; gm is the marginal-gain greedy baseline. -metrics-addr serves
+// live /metrics, /vars and /debug/pprof while solving; -trace-out
+// appends solver-stage span events as JSONL (useful for profiling a
+// single large instance). -check (or AA_CHECK=1) verifies the solution
+// through the engine's check middleware: strict feasibility for every
+// algorithm, plus the α-ratio guarantee for the algorithms that carry
+// one (a1, a2, a2p, ls).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"aa/internal/check"
+	"aa/internal/cliutil"
 	"aa/internal/core"
+	"aa/internal/engine"
 	"aa/internal/instio"
-	"aa/internal/rng"
 	"aa/internal/tableio"
-	"aa/internal/telemetry"
 )
 
 func main() {
@@ -44,31 +50,25 @@ func main() {
 // run is the testable body of the command.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("aasolve", flag.ContinueOnError)
-	fs.SetOutput(io.Discard)
 	var (
-		algo    = fs.String("algo", "a2", "solver: a2, a1, a2p, ls, gm, exact, uu, ur, ru, rr")
-		seed    = fs.Uint64("seed", 1, "seed for the randomized heuristics")
-		asJSON  = fs.Bool("json", false, "emit the assignment as JSON")
-		doCheck = fs.Bool("check", os.Getenv("AA_CHECK") == "1",
-			"verify feasibility and the approximation-ratio bounds (also AA_CHECK=1)")
-		maxNodes    = fs.Int("maxnodes", 0, "node limit for -algo exact (0 = default)")
-		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. localhost:0)")
-		traceOut    = fs.String("trace-out", "", "write telemetry span/event JSONL to this file")
+		algo     = fs.String("algo", "a2", "solver backend: a2, a1, a2p, ls, gm, exact, uu, ur, ru, rr")
+		seed     = fs.Uint64("seed", 1, "seed for the randomized heuristics")
+		asJSON   = fs.Bool("json", false, "emit the assignment as JSON")
+		maxNodes = fs.Int("maxnodes", 0, "node limit for -algo exact (0 = default)")
 	)
-	if err := fs.Parse(args); err != nil {
+	var common cliutil.Common
+	common.AddFlags(fs)
+	if err := cliutil.Parse(fs, args, stderr); err != nil {
+		if errors.Is(err, cliutil.ErrHelp) {
+			return nil
+		}
 		return err
 	}
-
-	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format, a...) }
-	shutdownTelemetry, err := telemetry.Setup(*metricsAddr, *traceOut, logf)
+	shutdown, err := common.Start("aasolve", stderr)
 	if err != nil {
 		return err
 	}
-	defer func() {
-		if err := shutdownTelemetry(); err != nil {
-			logf("aasolve: telemetry shutdown: %v\n", err)
-		}
-	}()
+	defer shutdown()
 
 	var src io.Reader = stdin
 	if fs.NArg() > 0 {
@@ -84,56 +84,28 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	r := rng.New(*seed)
-	var a core.Assignment
-	switch *algo {
-	case "a2":
-		a = core.Assign2(in)
-	case "a1":
-		a = core.Assign1(in)
-	case "a2p":
-		a = core.PolishAllocations(in, core.Assign2(in))
-	case "ls":
-		a, _ = core.Improve(in, core.Assign2(in), 0)
-	case "gm":
-		a = core.AssignGreedyMarginal(in)
-	case "exact":
-		a, err = core.BranchAndBound(in, *maxNodes)
-		if err != nil {
-			return err
-		}
-	case "uu":
-		a = core.AssignUU(in)
-	case "ur":
-		a = core.AssignUR(in, r)
-	case "ru":
-		a = core.AssignRU(in, r)
-	case "rr":
-		a = core.AssignRR(in, r)
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+	req := engine.Request{
+		Instance:    in,
+		Backend:     *algo,
+		Seed:        *seed,
+		MaxNodes:    *maxNodes,
+		WantUtility: true,
+		Check:       common.Check,
 	}
-
-	if err := a.Validate(in, 1e-6); err != nil {
-		return fmt.Errorf("internal error, infeasible solution: %w", err)
+	resp, err := engine.Default().Solve(context.Background(), &req)
+	if err != nil {
+		return err
 	}
+	a := resp.Assignment
 
-	if *doCheck {
-		if err := check.Feasible(in, a, check.DefaultEps); err != nil {
-			return err
-		}
-		rep := check.Ratio(in, a)
-		// Algorithms with a proven α lower bound get the full two-sided
-		// check; everything else must still respect F ≤ F̂.
-		guaranteed := map[string]bool{"a1": true, "a2": true, "a2p": true, "ls": true}
-		var cerr error
-		if guaranteed[*algo] {
-			cerr = rep.CheckAlpha(0)
+	if common.Check {
+		// The engine's check middleware already enforced feasibility and
+		// the ratio bounds; recompute the report here only for display.
+		var rep check.RatioReport
+		if !math.IsNaN(resp.Bound) {
+			rep = check.RatioAgainst(resp.Bound, in, a)
 		} else {
-			cerr = rep.CheckBound(0)
-		}
-		if cerr != nil {
-			return cerr
+			rep = check.Ratio(in, a)
 		}
 		fmt.Fprintf(stderr, "aasolve: check ok: feasible, F/F̂ = %.4f\n", rep.Ratio)
 	}
@@ -143,7 +115,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	so := core.SuperOptimal(in)
-	u := a.Utility(in)
+	u := resp.Utility
 	t := tableio.New(
 		fmt.Sprintf("%s on n=%d threads, m=%d servers, C=%g", *algo, in.N(), in.M, in.C),
 		"thread", "server", "alloc", "utility")

@@ -237,6 +237,13 @@ type speedupFloor struct {
 	min       float64
 }
 
+// overheadCeiling names a wrapped/base benchmark pair solving the same
+// workload and the maximum ns/op ratio the wrapper may add.
+type overheadCeiling struct {
+	wrapped, base string
+	max           float64
+}
+
 // assertSpeedups enforces the PR's headline numbers inside one snapshot.
 func assertSpeedups(cur *Snapshot) []string {
 	floors := []speedupFloor{
@@ -255,8 +262,27 @@ func assertSpeedups(cur *Snapshot) []string {
 				f.ref, ref.NsPerOp/fast.NsPerOp, f.fast, f.min))
 		}
 	}
+	// The engine pipeline (registry dispatch + middleware chain) runs the
+	// same 8x400-thread workload as the raw session solve; riding it must
+	// cost under 5% — both benchmarks live in the same snapshot, so this
+	// needs no machine calibration.
+	ceilings := []overheadCeiling{
+		{"BenchmarkEngineSolve", "BenchmarkSolveSession", 1.05},
+	}
+	for _, c := range ceilings {
+		wrapped, wok := cur.Benchmarks[c.wrapped]
+		base, bok := cur.Benchmarks[c.base]
+		switch {
+		case !wok || !bok:
+			errs = append(errs, fmt.Sprintf("missing %s or %s", c.wrapped, c.base))
+		case base.NsPerOp <= 0 || wrapped.NsPerOp/base.NsPerOp > c.max:
+			errs = append(errs, fmt.Sprintf("%s is %.3fx of %s, ceiling is %gx",
+				c.wrapped, wrapped.NsPerOp/base.NsPerOp, c.base, c.max))
+		}
+	}
 	for _, name := range []string{
 		"BenchmarkSolveSession",
+		"BenchmarkEngineSolve",
 		"BenchmarkAssign1/fig1a-uniform/n=10000",
 		"BenchmarkSolve/fig1a-uniform/n=10000",
 	} {

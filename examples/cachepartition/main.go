@@ -54,9 +54,13 @@ func main() {
 			gens[i].Name(), p.HitRate[4], p.HitRate[8], p.HitRate[16])
 	}
 
-	// Joint assignment + allocation with the paper's Algorithm 2, then
-	// an exact per-socket integer refinement on the measured curves.
-	sol := core.Assign2(inst)
+	// Joint assignment + allocation with the paper's Algorithm 2 (via
+	// the engine pipeline), then an exact per-socket integer refinement
+	// on the measured curves.
+	sol, err := cachesim.Solve(inst)
+	if err != nil {
+		panic(err)
+	}
 	refined := cachesim.OptimizeWays(cfg, sockets, workloads, profiles, sol)
 	aa, err := cachesim.CoRunWays(cfg, sockets, workloads, sol, refined)
 	if err != nil {

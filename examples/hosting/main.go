@@ -43,9 +43,12 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	sol := core.Assign2(in)
+	solved, err := d.Solve()
+	if err != nil {
+		panic(err)
+	}
+	sol := solved.Assignment
 	uu := core.AssignUU(in)
-	so := core.SuperOptimal(in)
 
 	fmt.Printf("%-11s %5s %8s   %5s %8s\n", "service", "host", "share", "host", "share")
 	fmt.Printf("%-11s %14s   %14s\n", "", "-- AA --", "-- RR/equal --")
@@ -55,7 +58,7 @@ func main() {
 	}
 
 	fmt.Printf("\nmodel revenue rate: AA %.3f $/s, RR/equal %.3f $/s, upper bound %.3f $/s\n",
-		sol.Utility(in), uu.Utility(in), so.Total)
+		solved.Revenue, uu.Utility(in), solved.Bound)
 
 	// Validate with the queueing simulator: 10 minutes of Poisson load.
 	const seconds = 600

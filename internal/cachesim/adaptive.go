@@ -1,12 +1,28 @@
 package cachesim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"aa/internal/core"
+	"aa/internal/engine"
 	"aa/internal/rng"
 )
+
+// Solve routes an AA solve through the shared engine pipeline, so
+// cache-partition solves pick up the pooled workspace, telemetry and
+// process-wide invariant checks.
+func Solve(in *core.Instance) (core.Assignment, error) { return solveAA(in) }
+
+func solveAA(in *core.Instance) (core.Assignment, error) {
+	var resp engine.Response
+	req := engine.Request{Instance: in}
+	if err := engine.Default().SolveInto(context.Background(), &req, &resp); err != nil {
+		return core.Assignment{}, err
+	}
+	return resp.Assignment, nil
+}
 
 // Adaptive is the online-measurement controller from the paper's future
 // work (§VIII: "integrate online performance measurements into our
@@ -183,7 +199,10 @@ func (a *Adaptive) Epoch(gens []TraceGen, accesses int, r *rng.Rand) (EpochResul
 		}
 		in.Threads = append(in.Threads, f)
 	}
-	sol := core.Assign2(in)
+	sol, err := solveAA(in)
+	if err != nil {
+		return EpochResult{}, fmt.Errorf("cachesim: epoch solve: %w", err)
+	}
 	ways := QuantizeWays(in, sol, a.Cfg.Ways)
 	a.explore(sol.Server, ways, r.Split(1<<32))
 
@@ -266,7 +285,10 @@ func OfflineReference(cfg Config, sockets int, gens []TraceGen, model Throughput
 	if err != nil {
 		return 0, err
 	}
-	sol := core.Assign2(in)
+	sol, err := solveAA(in)
+	if err != nil {
+		return 0, err
+	}
 	ways := OptimizeWays(cfg, sockets, workloads, profiles, sol)
 	res, err := CoRunWays(cfg, sockets, workloads, sol, ways)
 	if err != nil {

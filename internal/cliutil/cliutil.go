@@ -1,0 +1,103 @@
+// Package cliutil collects the command-line plumbing every AA binary
+// shares, so the observability and verification surface is uniform
+// across aasolve, aagen, aabench, aaonline, aacache and aaserve:
+//
+//   - -metrics-addr serves live /metrics, /vars and /debug/pprof,
+//   - -trace-out appends telemetry span/event JSONL to a file,
+//   - -check (or AA_CHECK=1) turns on process-wide invariant checking
+//     (internal/check), which the engine pipeline enforces on every
+//     solve, with a per-binary check summary printed at exit.
+//
+// Typical use:
+//
+//	fs := flag.NewFlagSet("aathing", flag.ContinueOnError)
+//	var common cliutil.Common
+//	common.AddFlags(fs)
+//	if err := cliutil.Parse(fs, args, stderr); err != nil {
+//		return err // nil for -h, after usage was printed
+//	}
+//	shutdown, err := common.Start("aathing", stderr)
+//	if err != nil {
+//		return err
+//	}
+//	defer shutdown()
+package cliutil
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aa/internal/check"
+	"aa/internal/telemetry"
+)
+
+// Common is the flag trio shared by every AA binary.
+type Common struct {
+	MetricsAddr string
+	TraceOut    string
+	Check       bool
+}
+
+// AddFlags registers the shared flags on fs with the shared wording.
+func (c *Common) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.MetricsAddr, "metrics-addr", "",
+		"serve /metrics, /vars and /debug/pprof on this address (e.g. localhost:0)")
+	fs.StringVar(&c.TraceOut, "trace-out", "",
+		"write telemetry span/event JSONL to this file")
+	fs.BoolVar(&c.Check, "check", os.Getenv("AA_CHECK") == "1",
+		"verify solver outputs through internal/check (also AA_CHECK=1)")
+}
+
+// ErrHelp is returned by Parse after -h/-help printed the flag
+// documentation; commands should treat it as a successful exit:
+//
+//	if err := cliutil.Parse(fs, args, stderr); err != nil {
+//		if errors.Is(err, cliutil.ErrHelp) {
+//			return nil
+//		}
+//		return err
+//	}
+var ErrHelp = flag.ErrHelp
+
+// Parse parses args with usage output going to stderr, so -h documents
+// the shared flags instead of dying with an opaque "flag: help
+// requested". Parse errors are printed by the flag package (with
+// usage) and returned.
+func Parse(fs *flag.FlagSet, args []string, stderr io.Writer) error {
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return ErrHelp
+		}
+		return err
+	}
+	return nil
+}
+
+// Start turns the parsed common flags on: the metrics endpoint and
+// trace sink via telemetry.Setup, and process-wide invariant checking
+// when Check is set. The returned shutdown function prints the check
+// summary (when checking) and flushes telemetry; defer it.
+func (c *Common) Start(name string, stderr io.Writer) (func(), error) {
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format, a...) }
+	shutdownTelemetry, err := telemetry.Setup(c.MetricsAddr, c.TraceOut, logf)
+	if err != nil {
+		return nil, err
+	}
+	if c.Check {
+		check.Enable()
+	}
+	return func() {
+		if c.Check {
+			check.Disable()
+			checks, violations := check.Totals()
+			fmt.Fprintf(stderr, "%s: check: %d checks, %d violations\n", name, checks, violations)
+		}
+		if err := shutdownTelemetry(); err != nil {
+			logf("%s: telemetry shutdown: %v\n", name, err)
+		}
+	}, nil
+}

@@ -1,0 +1,69 @@
+package cliutil
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"aa/internal/check"
+)
+
+func TestParseHelpPrintsSharedFlags(t *testing.T) {
+	fs := flag.NewFlagSet("aathing", flag.ContinueOnError)
+	var c Common
+	c.AddFlags(fs)
+	var stderr bytes.Buffer
+	err := Parse(fs, []string{"-h"}, &stderr)
+	if !errors.Is(err, ErrHelp) {
+		t.Fatalf("-h returned %v, want ErrHelp", err)
+	}
+	for _, flagName := range []string{"-metrics-addr", "-trace-out", "-check"} {
+		if !strings.Contains(stderr.String(), flagName) {
+			t.Errorf("usage output missing %s:\n%s", flagName, stderr.String())
+		}
+	}
+}
+
+func TestParseErrorsSurface(t *testing.T) {
+	fs := flag.NewFlagSet("aathing", flag.ContinueOnError)
+	var c Common
+	c.AddFlags(fs)
+	var stderr bytes.Buffer
+	if err := Parse(fs, []string{"-check=banana"}, &stderr); err == nil {
+		t.Fatal("bad flag value accepted")
+	}
+}
+
+func TestStartEnablesAndSummarizesChecks(t *testing.T) {
+	c := Common{Check: true}
+	var stderr bytes.Buffer
+	shutdown, err := c.Start("aathing", &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !check.Enabled() {
+		t.Error("Start with Check did not enable checking")
+	}
+	shutdown()
+	if check.Enabled() {
+		t.Error("shutdown did not disable checking")
+	}
+	if !strings.Contains(stderr.String(), "aathing: check:") {
+		t.Errorf("missing check summary, stderr: %q", stderr.String())
+	}
+}
+
+func TestStartWithoutFlagsIsQuiet(t *testing.T) {
+	var c Common
+	var stderr bytes.Buffer
+	shutdown, err := c.Start("aathing", &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown()
+	if stderr.Len() != 0 {
+		t.Errorf("unexpected output: %q", stderr.String())
+	}
+}

@@ -178,18 +178,6 @@ func emptiest(residual []float64) int {
 	return best
 }
 
-// SolveRevenue runs the paper's Algorithm 2 on the fleet and returns the
-// provider revenue (= total utility) and the assignment: VMs are sized
-// per-customer instead of snapped to tiers.
-func SolveRevenue(f *Fleet) (float64, core.Assignment, error) {
-	in, err := f.Instance()
-	if err != nil {
-		return 0, core.Assignment{}, err
-	}
-	a := core.Assign2(in)
-	return a.Utility(in), a, nil
-}
-
 // RandomFleet draws n customers with power-law payment curves
 // Pay(x) = scale·x^β, β ~ U[betaLo, betaHi], scale ~ U[0.5, 2].
 func RandomFleet(machines int, capacity float64, n int, betaLo, betaHi float64, r *rng.Rand) *Fleet {

@@ -1,0 +1,51 @@
+package cloud
+
+import (
+	"context"
+	"fmt"
+
+	"aa/internal/core"
+	"aa/internal/engine"
+)
+
+// The cloud backend translates a Fleet into an AA instance and then
+// rides the stock assign2 handler, so fleet solves get the pooled
+// workspace, telemetry, checks and cancellation of the shared pipeline.
+// Registered at package init; any import of cloud makes "cloud" a
+// routable engine backend.
+func init() {
+	a2, ok := engine.Lookup("assign2")
+	if !ok {
+		panic("cloud: assign2 backend not registered")
+	}
+	engine.Register(engine.Backend{
+		Name:       "cloud",
+		Doc:        "provider-revenue Algorithm 2 over a cloud fleet (request Payload: *cloud.Fleet)",
+		Guaranteed: true,
+		Handle: func(ctx context.Context, req *engine.Request, resp *engine.Response) error {
+			f, ok := req.Payload.(*Fleet)
+			if !ok {
+				return fmt.Errorf("%w: cloud backend needs Payload of type *cloud.Fleet", engine.ErrBadRequest)
+			}
+			in, err := f.Instance()
+			if err != nil {
+				return fmt.Errorf("%w: %v", engine.ErrBadRequest, err)
+			}
+			req.Instance = in
+			return a2.Handle(ctx, req, resp)
+		},
+	})
+}
+
+// SolveRevenue runs the paper's Algorithm 2 on the fleet through the
+// engine pipeline and returns the provider revenue (= total utility)
+// and the assignment: VMs are sized per-customer instead of snapped to
+// tiers.
+func SolveRevenue(f *Fleet) (float64, core.Assignment, error) {
+	var resp engine.Response
+	req := engine.Request{Backend: "cloud", Payload: f, WantUtility: true}
+	if err := engine.Default().SolveInto(context.Background(), &req, &resp); err != nil {
+		return 0, core.Assignment{}, err
+	}
+	return resp.Utility, resp.Assignment, nil
+}

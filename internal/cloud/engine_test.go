@@ -1,0 +1,41 @@
+package cloud
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"aa/internal/core"
+	"aa/internal/engine"
+	"aa/internal/rng"
+)
+
+// TestEngineBackendMatchesDirect pins that the cloud adapter is exactly
+// assign2 on the fleet's derived instance.
+func TestEngineBackendMatchesDirect(t *testing.T) {
+	f := RandomFleet(3, 64, 20, 0.3, 0.9, rng.New(21))
+	in, err := f.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Assign2(in)
+	resp, err := engine.New(engine.Options{Check: true}).Solve(context.Background(),
+		&engine.Request{Backend: "cloud", Payload: f, WantUtility: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Server {
+		if resp.Assignment.Server[i] != want.Server[i] || resp.Assignment.Alloc[i] != want.Alloc[i] {
+			t.Fatalf("customer %d: got (%d, %v), want (%d, %v)",
+				i, resp.Assignment.Server[i], resp.Assignment.Alloc[i], want.Server[i], want.Alloc[i])
+		}
+	}
+	if wantRev := want.Utility(in); resp.Utility != wantRev {
+		t.Fatalf("revenue %v, want %v", resp.Utility, wantRev)
+	}
+
+	if _, err := engine.New(engine.Options{}).Solve(context.Background(),
+		&engine.Request{Backend: "cloud", Payload: "not a fleet"}); !errors.Is(err, engine.ErrBadRequest) {
+		t.Fatalf("bad payload returned %v, want ErrBadRequest", err)
+	}
+}

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"aa/internal/core"
+	"aa/internal/gen"
+	"aa/internal/rng"
+)
+
+// BenchmarkEngineSolve is BenchmarkSolveSession through the full engine
+// pipeline: the same 8×400-thread workload, one reused Response, solves
+// via SolveInto. The benchmark-regression gate holds it to < 5% ns/op
+// overhead over the raw session solve and 0 allocs/op — the cost of
+// riding the registry + middleware chain must stay noise-level.
+func BenchmarkEngineSolve(b *testing.B) {
+	base := rng.New(99)
+	ins := make([]*core.Instance, 8)
+	for i := range ins {
+		in, err := gen.Instance(gen.DefaultUniform, 8, 1000, 400, base.Split(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ins[i] = in
+	}
+	eng := New(Options{})
+	ctx := context.Background()
+	req := &Request{}
+	var resp Response
+	for _, in := range ins { // size the buffers before counting allocs
+		req.Instance = in
+		if err := eng.SolveInto(ctx, req, &resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.Instance = ins[i%len(ins)]
+		if err := eng.SolveInto(ctx, req, &resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+// Package engine is the repository's unified solver pipeline: one
+// request/response path that every solve in the tree — the public aa
+// facade, the experiment harness, the workload variant packages, the
+// five CLI binaries and the aaserve service — rides instead of wiring
+// pooling, checking and telemetry per call site.
+//
+// The pieces, bottom up:
+//
+//   - A named-backend registry (see Backend/Register): "assign2" and
+//     "assign1" are the paper's algorithms on the zero-alloc
+//     core.Workspace fast path, joined by "polish", "ls", "greedy",
+//     "exact" and the four placement heuristics; variant packages
+//     register adapters ("online", "hetero", "multires", "cloud", ...)
+//     from their own init functions and receive their input via
+//     Request.Payload, which keeps the dependency arrow pointing at the
+//     engine rather than out of it.
+//
+//   - A middleware chain (Handler/Middleware) composed once at Engine
+//     construction, outermost first: telemetry (aa_engine_* counters,
+//     latency histogram, engine.solve trace spans — skipped entirely
+//     when telemetry is off), cancellation (fail fast on a dead
+//     context; backends also check ctx between stages), any
+//     caller-supplied middleware, then post-solve checking
+//     (check.Feasible plus the ratio report against F̂ — α for
+//     guaranteed backends, the F ≤ F̂ bound for heuristics), and
+//     finally dispatch to the backend.
+//
+//   - An Engine, which owns the composed chain, the default backend
+//     name, and a lazily started solverpool.Pool for the concurrent
+//     entry points: Submit (non-blocking, ErrQueueFull backpressure —
+//     the service front door) and SolveBatch (blocking enqueue, results
+//     in input order, first error cancels the rest).
+//
+// Allocation discipline: Solve returns a fresh Response the caller
+// owns; SolveInto reuses a caller-held Response and performs zero heap
+// allocations in steady state on the workspace-backed backends, so hot
+// loops (experiment trials, online re-solves, benchmarks) pay nothing
+// for riding the pipeline. BenchmarkEngineSolve pins both properties
+// against BenchmarkSolveSession.
+package engine
+
+import (
+	"context"
+	"math"
+	"sync"
+
+	"aa/internal/core"
+	"aa/internal/solverpool"
+)
+
+// ErrQueueFull is the backpressure signal from Submit, re-exported from
+// solverpool so engine callers can errors.Is against it without
+// importing the pool.
+var ErrQueueFull = solverpool.ErrQueueFull
+
+// Request describes one solve. The zero value plus an Instance is a
+// valid request for the engine's default backend.
+type Request struct {
+	// Instance is the homogeneous AA instance for the core backends.
+	// Variant adapters may leave it nil and use Payload instead.
+	Instance *core.Instance
+	// Backend names the registry entry to dispatch to; "" uses the
+	// engine's default (normally "assign2"). Aliases resolve.
+	Backend string
+	// Seed derives the random stream for stochastic backends (the
+	// ur/ru/rr heuristics). Deterministic backends ignore it.
+	Seed uint64
+	// MaxNodes bounds the branch-and-bound search of the "exact"
+	// backend; <= 0 means the core default.
+	MaxNodes int
+	// MaxMoves bounds the "ls" local search; <= 0 means the core
+	// default.
+	MaxMoves int
+	// AltAssign1 asks the assign2 backend to additionally run
+	// Algorithm 1 from the same super-optimal linearization into
+	// Response.Alt — one bound computation feeding both algorithms,
+	// exactly as the experiment harness compares them.
+	AltAssign1 bool
+	// WantUtility asks the backend to evaluate the achieved total
+	// utility F into Response.Utility (and AltUtility). Off by default
+	// so the hot path matches the Session contract of "assignment
+	// only"; callers that report F (CLIs, the service, experiments)
+	// switch it on.
+	WantUtility bool
+	// Check forces post-solve verification for this request even when
+	// neither the engine option nor the process-wide check.Enable is
+	// set.
+	Check bool
+	// Payload carries variant-specific input for adapter backends
+	// (*hetero request, online state, cloud fleet, ...). The core
+	// backends ignore it.
+	Payload any
+
+	// bk is the backend resolved by the engine before the chain runs,
+	// so middleware reads it without repeating the registry lookup.
+	bk *Backend
+}
+
+// Response is the result of one solve. Responses are plain data the
+// caller owns; pass the same Response back to SolveInto to reuse its
+// buffers.
+type Response struct {
+	// Assignment is the solver's thread placement and allocation. Its
+	// backing arrays are reused across SolveInto calls.
+	Assignment core.Assignment
+	// Alt is Algorithm 1's assignment from the same linearization, valid
+	// only when the request set AltAssign1.
+	Alt core.Assignment
+	// Utility is the achieved total utility F when the request set
+	// WantUtility, else NaN.
+	Utility float64
+	// AltUtility is Alt's total utility under the same rule, else NaN.
+	AltUtility float64
+	// Bound is the super-optimal bound F̂ when the backend computed one
+	// (the linearized backends get it for free), else NaN.
+	Bound float64
+	// Moves is the number of accepted local-search moves ("ls" backend).
+	Moves int
+	// Backend is the canonical name of the backend that produced this
+	// response.
+	Backend string
+}
+
+// prepare resets the response metadata for a new solve, leaving the
+// assignment buffers to be resized by the backend.
+func (r *Response) prepare(backend string) {
+	r.Utility = math.NaN()
+	r.AltUtility = math.NaN()
+	r.Bound = math.NaN()
+	r.Moves = 0
+	r.Backend = backend
+}
+
+// Handler is the engine's internal hop signature: solve req into resp.
+// Backends and middleware share it.
+type Handler func(ctx context.Context, req *Request, resp *Response) error
+
+// Middleware wraps a Handler with a cross-cutting concern.
+type Middleware func(Handler) Handler
+
+// Chain composes middleware around a handler, first element outermost.
+func Chain(h Handler, mw ...Middleware) Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// Solver is the engine's public face: anything that can answer a solve
+// request. *Engine implements it.
+type Solver interface {
+	Solve(ctx context.Context, req *Request) (*Response, error)
+}
+
+// Options configure an Engine. The zero value is usable: default
+// backend assign2, GOMAXPROCS workers with a queue of twice that depth
+// (started lazily on first concurrent use), checking only by request or
+// process-wide switch.
+type Options struct {
+	// Backend is the default backend for requests that leave
+	// Request.Backend empty; "" means "assign2".
+	Backend string
+	// Workers and QueueDepth size the pool behind Submit/SolveBatch,
+	// with the solverpool defaults for values <= 0.
+	Workers    int
+	QueueDepth int
+	// Check turns on post-solve verification for every request through
+	// this engine (the per-request Check field and the process-wide
+	// check.Enable switch do the same with narrower/wider scope).
+	Check bool
+	// Middleware is appended inside the built-in telemetry and
+	// cancellation layers but outside checking and dispatch.
+	Middleware []Middleware
+}
+
+// Engine runs requests through the composed middleware chain and, for
+// the concurrent entry points, a bounded worker pool. Safe for
+// concurrent use.
+type Engine struct {
+	def     string
+	handler Handler
+
+	poolOnce sync.Once
+	pool     *solverpool.Pool
+	poolOpts solverpool.Options
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// New builds an engine: the middleware chain is composed here, once, so
+// per-solve cost is a few direct calls.
+func New(opts Options) *Engine {
+	def := opts.Backend
+	if def == "" {
+		def = "assign2"
+	}
+	mw := make([]Middleware, 0, 3+len(opts.Middleware))
+	mw = append(mw, withTelemetry, withCancel)
+	mw = append(mw, opts.Middleware...)
+	mw = append(mw, withCheck(opts.Check))
+	return &Engine{
+		def:      def,
+		handler:  Chain(dispatch, mw...),
+		poolOpts: solverpool.Options{Workers: opts.Workers, QueueDepth: opts.QueueDepth},
+	}
+}
+
+// dispatch is the innermost handler: hand the request to its resolved
+// backend.
+func dispatch(ctx context.Context, req *Request, resp *Response) error {
+	return req.bk.Handle(ctx, req, resp)
+}
+
+// SolveInto runs one request through the pipeline on the caller's
+// goroutine, writing into a caller-owned Response. This is the
+// zero-alloc steady-state path: with resp (and the pooled workspace
+// buffers) grown to the workload's size, a workspace-backed solve
+// allocates nothing.
+func (e *Engine) SolveInto(ctx context.Context, req *Request, resp *Response) error {
+	bk, err := resolve(req.Backend, e.def)
+	if err != nil {
+		return err
+	}
+	req.bk = bk
+	resp.prepare(bk.Name)
+	return e.handler(ctx, req, resp)
+}
+
+// Solve runs one request and returns a fresh Response the caller owns.
+func (e *Engine) Solve(ctx context.Context, req *Request) (*Response, error) {
+	resp := new(Response)
+	if err := e.SolveInto(ctx, req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// lazyPool starts the worker pool on first concurrent use, so engines
+// used purely synchronously (the package default, the aa facade) never
+// spawn goroutines.
+func (e *Engine) lazyPool() *solverpool.Pool {
+	e.poolOnce.Do(func() { e.pool = solverpool.New(e.poolOpts) })
+	return e.pool
+}
+
+// Submit hands the request to the engine's pool without blocking: it
+// returns ErrQueueFull when the bounded queue is at capacity (the
+// backpressure signal a service turns into 429/503), ctx.Err() for a
+// dead request, and otherwise waits for the result. The wait honors
+// ctx even while a worker is still chewing.
+func (e *Engine) Submit(ctx context.Context, req *Request) (*Response, error) {
+	type result struct {
+		resp *Response
+		err  error
+	}
+	ch := make(chan result, 1)
+	err := e.lazyPool().Submit(ctx, func(tctx context.Context) error {
+		r, err := e.Solve(tctx, req)
+		ch <- result{resp: r, err: err}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// SolveBatch fans the requests out across the engine's pool and returns
+// one response per request, in input order. Enqueueing blocks when the
+// queue is full (the paced batch path); the first failure cancels every
+// remaining solve and is returned.
+func (e *Engine) SolveBatch(ctx context.Context, reqs []*Request) ([]*Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		idx  int
+		resp *Response
+		err  error
+	}
+	results := make(chan result, len(reqs))
+	p := e.lazyPool()
+	go func() {
+		for i, req := range reqs {
+			i, req := i, req
+			err := p.Enqueue(bctx, func(tctx context.Context) error {
+				r, err := e.Solve(tctx, req)
+				results <- result{idx: i, resp: r, err: err}
+				return err
+			})
+			if err != nil {
+				results <- result{idx: i, err: err}
+			}
+		}
+	}()
+
+	out := make([]*Response, len(reqs))
+	var firstErr error
+	for range reqs {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				if firstErr == nil {
+					firstErr = r.err
+				}
+				cancel()
+				continue
+			}
+			out[r.idx] = r.resp
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Close drains and stops the engine's pool, if one was ever started.
+// Synchronous entry points keep working after Close.
+func (e *Engine) Close() {
+	e.closeMu.Lock()
+	defer e.closeMu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.pool != nil {
+		e.pool.Close()
+	}
+}
+
+// Pool exposes the engine's worker pool (starting it if needed) so
+// callers can poll its Stats snapshot.
+func (e *Engine) Pool() *solverpool.Pool { return e.lazyPool() }
+
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the process-wide shared engine (default options,
+// never closed). The aa facade and the variant packages solve through
+// it.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = New(Options{}) })
+	return defaultEngine
+}

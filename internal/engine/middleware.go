@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"aa/internal/check"
+	"aa/internal/core"
+	"aa/internal/telemetry"
+)
+
+// Engine-wide latency histogram; the per-backend request/failure
+// counters live on the Backend (created at Register time). All of it is
+// recorded only when telemetry is enabled, keeping the disabled path
+// allocation- and syscall-free.
+var engineSolveLat = telemetry.Default.Histogram("aa_engine_solve_latency_seconds", telemetry.LatencyBuckets)
+
+// withTelemetry is the outermost layer: it counts every request —
+// including ones that die on cancellation before dispatch — into the
+// resolved backend's aa_engine_requests_total / failures counters,
+// observes end-to-end latency, and emits an engine.solve trace span
+// when tracing is on.
+func withTelemetry(next Handler) Handler {
+	return func(ctx context.Context, req *Request, resp *Response) error {
+		if !telemetry.Enabled() {
+			return next(ctx, req, resp)
+		}
+		bk := req.bk
+		bk.requests.Inc()
+		start := time.Now()
+		err := next(ctx, req, resp)
+		engineSolveLat.Observe(time.Since(start).Seconds())
+		if telemetry.TraceEnabled() {
+			telemetry.EmitSpan("engine.solve", start,
+				telemetry.String("backend", bk.Name),
+				telemetry.String("ok", boolStr(err == nil)))
+		}
+		if err != nil {
+			bk.failures.Inc()
+		}
+		return err
+	}
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// withCancel fails a request whose context is already dead before any
+// work starts. Backends additionally check ctx between expensive
+// stages, so this is the fast-fail front door, not the only check.
+func withCancel(next Handler) Handler {
+	return func(ctx context.Context, req *Request, resp *Response) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return next(ctx, req, resp)
+	}
+}
+
+// withCheck wraps dispatch with post-solve verification: feasibility
+// plus the ratio report against the super-optimal bound — the α
+// guarantee for backends that carry it, the F ≤ F̂ upper bound for
+// those that don't. It runs when the engine option, the request, or
+// the process-wide check.Enable switch asks for it, and fails the
+// request with an error wrapping check.ErrInfeasible / check.ErrRatio
+// instead of returning a bogus result.
+func withCheck(force bool) Middleware {
+	return func(next Handler) Handler {
+		return func(ctx context.Context, req *Request, resp *Response) error {
+			err := next(ctx, req, resp)
+			if err != nil || !(force || req.Check || check.Enabled()) {
+				return err
+			}
+			return verify(req, resp)
+		}
+	}
+}
+
+// verify checks a finished core-instance response; adapter backends
+// (nil Instance) verify inside their own domain instead.
+func verify(req *Request, resp *Response) error {
+	in := req.Instance
+	if in == nil {
+		return nil
+	}
+	if err := check.Feasible(in, resp.Assignment, check.DefaultEps); err != nil {
+		return err
+	}
+	rep := ratioFor(resp.Bound, req, resp.Assignment)
+	if req.bk.Guaranteed {
+		if err := rep.CheckAlpha(0); err != nil {
+			return err
+		}
+	} else if err := rep.CheckBound(0); err != nil {
+		return err
+	}
+	if !req.AltAssign1 {
+		return nil
+	}
+	// The alternate Algorithm 1 result rides the same guarantee.
+	if err := check.Feasible(in, resp.Alt, check.DefaultEps); err != nil {
+		return err
+	}
+	return ratioFor(resp.Bound, req, resp.Alt).CheckAlpha(0)
+}
+
+// ratioFor reuses the backend's own F̂ when it computed one, and pays
+// for a fresh super-optimal bound only for backends that don't.
+func ratioFor(bound float64, req *Request, a core.Assignment) check.RatioReport {
+	if !math.IsNaN(bound) {
+		return check.RatioAgainst(bound, req.Instance, a)
+	}
+	return check.Ratio(req.Instance, a)
+}

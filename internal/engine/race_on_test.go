@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-alloc pins skip under it because its instrumentation allocates.
+const raceEnabled = true

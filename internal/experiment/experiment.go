@@ -21,6 +21,7 @@ import (
 
 	"aa/internal/check"
 	"aa/internal/core"
+	"aa/internal/engine"
 	"aa/internal/gen"
 	"aa/internal/rng"
 	"aa/internal/solverpool"
@@ -203,7 +204,7 @@ func runPoint(ctx context.Context, pool *solverpool.Pool, spec Spec, sp SweepPoi
 				fail(err)
 				return err
 			}
-			num, den, err := runTrial(spec, sp, r)
+			num, den, err := runTrial(tctx, spec, sp, r)
 			if err != nil {
 				fail(err)
 				return err
@@ -230,7 +231,7 @@ func runPoint(ctx context.Context, pool *solverpool.Pool, spec Spec, sp SweepPoi
 
 // runTrial generates one instance and returns each column's ratio
 // numerator and denominator for this trial.
-func runTrial(spec Spec, sp SweepPoint, r *rng.Rand) (map[string]float64, map[string]float64, error) {
+func runTrial(ctx context.Context, spec Spec, sp SweepPoint, r *rng.Rand) (map[string]float64, map[string]float64, error) {
 	m := spec.M
 	if sp.M > 0 {
 		m = sp.M
@@ -239,20 +240,21 @@ func runTrial(spec Spec, sp SweepPoint, r *rng.Rand) (map[string]float64, map[st
 	if err != nil {
 		return nil, nil, err
 	}
-	// The paper pipeline runs through a pooled workspace: across a
-	// 1000-trial sweep the worker reuses the same scratch buffers, so the
-	// only per-trial allocations left are the instance itself and the two
-	// assignment slices. The workspace methods are bit-identical to the
-	// package-level calls, and none of these stages draws from r, so the
-	// published rng stream (gen → UR → RU → RR) is unchanged.
-	w := core.GetWorkspace()
-	defer core.PutWorkspace(w)
-	so := w.SuperOptimal(in)
-	gs := w.Linearize(in, so)
-	var a1, a2 core.Assignment
-	w.Assign2Linearized(in, gs, &a2)
-	w.Assign1Linearized(in, gs, &a1)
-	u2 := a2.Utility(in)
+	// The paper pipeline rides the engine: one request solves Assign2
+	// and (via AltAssign1) Assign1 from the same super-optimal
+	// linearization, through the pooled-workspace fast path — across a
+	// 1000-trial sweep the worker reuses the same scratch buffers. The
+	// engine's assign2 backend is bit-identical to the package-level
+	// calls, and none of these stages draws from r, so the published rng
+	// stream (gen → UR → RU → RR) is unchanged.
+	var resp engine.Response
+	req := engine.Request{Instance: in, AltAssign1: true, WantUtility: true}
+	if err := engine.Default().SolveInto(ctx, &req, &resp); err != nil {
+		return nil, nil, err
+	}
+	a2, a1 := resp.Assignment, resp.Alt
+	so := resp.Bound
+	u2 := resp.Utility
 
 	// The randomized heuristics must draw in this exact order (UR, RU,
 	// RR) — it is the rng stream behind every published figure.
@@ -265,8 +267,8 @@ func runTrial(spec Spec, sp SweepPoint, r *rng.Rand) (map[string]float64, map[st
 
 	num := map[string]float64{}
 	den := map[string]float64{
-		"SO": so.Total,
-		"A1": a1.Utility(in),
+		"SO": so,
+		"A1": resp.AltUtility,
 	}
 	for _, h := range heur {
 		den[h.name] = h.a.Utility(in)
@@ -275,7 +277,7 @@ func runTrial(spec Spec, sp SweepPoint, r *rng.Rand) (map[string]float64, map[st
 		num[c] = u2
 	}
 	if check.Enabled() {
-		if err := verifyTrial(in, so.Total, a1, a2, heur); err != nil {
+		if err := verifyTrial(in, so, a1, a2, heur); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -290,7 +292,7 @@ func runTrial(spec Spec, sp SweepPoint, r *rng.Rand) (map[string]float64, map[st
 			}
 			// Reported against SO so the column reads like the SO column:
 			// how much of the bound A2+local-search attains.
-			num["LS"], den["LS"] = improved.Utility(in), so.Total
+			num["LS"], den["LS"] = improved.Utility(in), so
 		case "GM":
 			gm := core.AssignGreedyMarginal(in)
 			if check.Enabled() {
@@ -298,7 +300,7 @@ func runTrial(spec Spec, sp SweepPoint, r *rng.Rand) (map[string]float64, map[st
 					return nil, nil, fmt.Errorf("GM: %w", err)
 				}
 			}
-			num["GM"], den["GM"] = gm.Utility(in), so.Total
+			num["GM"], den["GM"] = gm.Utility(in), so
 		default:
 			return nil, nil, fmt.Errorf("unknown extra competitor %q", extra)
 		}

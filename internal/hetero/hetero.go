@@ -16,7 +16,6 @@ package hetero
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"aa/internal/alloc"
 	"aa/internal/core"
@@ -150,66 +149,22 @@ func (cf capped) InverseDeriv(lambda float64) float64 {
 
 // SuperOptimal computes the heterogeneous relaxation: allocate the
 // pooled capacity Σ C_j with per-thread cap max_j C_j. Its total is an
-// upper bound on any feasible assignment's utility.
+// upper bound on any feasible assignment's utility. Series callers
+// should hold a Workspace and call its method instead.
 func SuperOptimal(in *Instance) core.SuperOpt {
-	maxCap := in.MaxCap()
-	fs := make([]utility.Func, in.N())
-	for i, f := range in.Threads {
-		c := f.Cap()
-		if c > maxCap {
-			c = maxCap
-		}
-		fs[i] = capped{f: f, c: c}
-	}
-	res := alloc.Concave(fs, in.TotalCap())
-	so := core.SuperOpt{Alloc: res.Alloc, Value: make([]float64, in.N()), Total: res.Total}
-	for i, f := range fs {
-		so.Value[i] = f.Value(res.Alloc[i])
-	}
-	return so
+	var w Workspace
+	return w.SuperOptimal(in)
 }
 
 // Assign generalizes Algorithm 2: sort threads by linearized utility
 // f_i(ĉ_i) nonincreasing, re-sort the tail (beyond the m-th) by ramp
 // slope, then serve each thread min(ĉ_i, residual) from the server with
-// the most remaining resource.
+// the most remaining resource. Series callers should hold a Workspace
+// and call its method instead.
 func Assign(in *Instance) Assignment {
-	so := SuperOptimal(in)
-	n, m := in.N(), in.M()
-
-	type entry struct {
-		uhat, chat float64
-	}
-	gs := make([]entry, n)
-	for i := range gs {
-		gs[i] = entry{uhat: so.Value[i], chat: so.Alloc[i]}
-	}
-	slope := func(i int) float64 {
-		if gs[i].chat <= 0 {
-			return 0
-		}
-		return gs[i].uhat / gs[i].chat
-	}
-
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool { return gs[order[a]].uhat > gs[order[b]].uhat })
-	if n > m {
-		tail := order[m:]
-		sort.SliceStable(tail, func(a, b int) bool { return slope(tail[a]) > slope(tail[b]) })
-	}
-
-	residual := append([]float64(nil), in.Caps...)
-	out := Assignment{Server: make([]int, n), Alloc: make([]float64, n)}
-	for _, i := range order {
-		j := argmax(residual)
-		amount := math.Min(gs[i].chat, residual[j])
-		out.Server[i] = j
-		out.Alloc[i] = amount
-		residual[j] -= amount
-	}
+	var w Workspace
+	var out Assignment
+	w.Assign(in, &out)
 	return out
 }
 

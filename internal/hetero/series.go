@@ -31,6 +31,11 @@ func SkewSeries(trials int, seed uint64) (*tableio.Table, error) {
 			m, totalCap, n, trials),
 		"skew", "bigC", "A/SO", "A/RR", "A/PROP")
 	base := rng.New(seed)
+	// One workspace and one assignment arena serve every trial in the
+	// sweep — the whole series allocates scratch once (pinned by
+	// TestSkewSolveSteadyStateAllocs).
+	var w Workspace
+	var a Assignment
 	for si, skew := range skews {
 		big := totalCap * skew
 		small := (totalCap - big) / float64(m-1)
@@ -42,8 +47,8 @@ func SkewSeries(trials int, seed uint64) (*tableio.Table, error) {
 		for trial := 0; trial < trials; trial++ {
 			r := pr.Split(uint64(trial))
 			in := randomSkewInstance(r, n, caps)
-			u := Assign(in).Utility(in)
-			so := SuperOptimal(in).Total
+			so := w.Assign(in, &a)
+			u := a.Utility(in)
 			rr := AssignRoundRobin(in).Utility(in)
 			prop := AssignProportional(in).Utility(in)
 			vsSO[trial] = ratio(u, so)

@@ -1,0 +1,56 @@
+package hosting
+
+import (
+	"context"
+	"fmt"
+
+	"aa/internal/core"
+	"aa/internal/engine"
+)
+
+// The hosting backend translates a Deployment into an AA instance whose
+// utility is the fleet revenue rate, then rides the stock assign2
+// handler — pooled workspace, telemetry, checks and cancellation come
+// from the shared pipeline. Registered at package init.
+func init() {
+	a2, ok := engine.Lookup("assign2")
+	if !ok {
+		panic("hosting: assign2 backend not registered")
+	}
+	engine.Register(engine.Backend{
+		Name:       "hosting",
+		Doc:        "revenue-rate Algorithm 2 over a service deployment (request Payload: *hosting.Deployment)",
+		Guaranteed: true,
+		Handle: func(ctx context.Context, req *engine.Request, resp *engine.Response) error {
+			d, ok := req.Payload.(*Deployment)
+			if !ok {
+				return fmt.Errorf("%w: hosting backend needs Payload of type *hosting.Deployment", engine.ErrBadRequest)
+			}
+			in, err := d.Instance()
+			if err != nil {
+				return fmt.Errorf("%w: %v", engine.ErrBadRequest, err)
+			}
+			req.Instance = in
+			return a2.Handle(ctx, req, resp)
+		},
+	})
+}
+
+// Solution is a solved deployment: the placement, its modeled revenue
+// rate, and the super-optimal upper bound on any placement's revenue.
+type Solution struct {
+	Assignment core.Assignment
+	Revenue    float64 // Σ u_i(alloc_i), $/s under the revenue model
+	Bound      float64 // pooled-capacity upper bound on Revenue
+}
+
+// Solve places the deployment's services with the paper's Algorithm 2
+// through the engine pipeline.
+func (d *Deployment) Solve() (Solution, error) {
+	var resp engine.Response
+	req := engine.Request{Backend: "hosting", Payload: d, WantUtility: true}
+	if err := engine.Default().SolveInto(context.Background(), &req, &resp); err != nil {
+		return Solution{}, err
+	}
+	return Solution{Assignment: resp.Assignment, Revenue: resp.Utility, Bound: resp.Bound}, nil
+}

@@ -1,0 +1,56 @@
+package multires
+
+import (
+	"context"
+	"fmt"
+
+	"aa/internal/engine"
+)
+
+// SolveSpec is the engine payload for the multires backend: the
+// instance plus the bundle granularity Assign solves at.
+type SolveSpec struct {
+	In   *Instance
+	Unit float64 // bundle step for the scarcity-priced greedy, > 0
+}
+
+// The multires backend runs the Leontief multi-resource Assign through
+// the shared pipeline. The response maps bundle counts onto
+// Response.Assignment.Alloc (one scalar per thread fully describes a
+// Leontief allocation). No super-optimal bound exists for this variant,
+// so Response.Bound stays NaN and checks fall back to feasibility only.
+func init() {
+	engine.Register(engine.Backend{
+		Name: "multires",
+		Doc:  "Leontief multi-resource assignment (request Payload: multires.SolveSpec)",
+		Handle: func(ctx context.Context, req *engine.Request, resp *engine.Response) error {
+			spec, ok := req.Payload.(SolveSpec)
+			if !ok {
+				if p, ok2 := req.Payload.(*SolveSpec); ok2 {
+					spec = *p
+				} else {
+					return fmt.Errorf("%w: multires backend needs Payload of type multires.SolveSpec", engine.ErrBadRequest)
+				}
+			}
+			if !(spec.Unit > 0) {
+				return fmt.Errorf("%w: multires bundle unit %v", engine.ErrBadRequest, spec.Unit)
+			}
+			if spec.In == nil {
+				return fmt.Errorf("%w: multires instance is nil", engine.ErrBadRequest)
+			}
+			if err := spec.In.Validate(); err != nil {
+				return fmt.Errorf("%w: %v", engine.ErrBadRequest, err)
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			a := Assign(spec.In, spec.Unit)
+			resp.Assignment.Server = a.Server
+			resp.Assignment.Alloc = a.Bundles
+			if req.WantUtility {
+				resp.Utility = a.Utility(spec.In)
+			}
+			return nil
+		},
+	})
+}

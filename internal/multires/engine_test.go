@@ -1,0 +1,55 @@
+package multires
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"aa/internal/engine"
+	"aa/internal/utility"
+)
+
+func engineTestInstance() *Instance {
+	mk := func(scale, beta, c float64, w ...float64) Thread {
+		return Thread{G: utility.Power{Scale: scale, Beta: beta, C: c}, W: w}
+	}
+	return &Instance{
+		M:   2,
+		Cap: []float64{16, 64},
+		Threads: []Thread{
+			mk(1.0, 0.6, 8, 1, 4),
+			mk(0.8, 0.5, 8, 2, 2),
+			mk(1.2, 0.7, 8, 1, 8),
+			mk(0.5, 0.4, 8, 1, 1),
+		},
+	}
+}
+
+// TestEngineBackendMatchesDirect pins the multires adapter against the
+// direct Assign call, bundles riding in Response.Assignment.Alloc.
+func TestEngineBackendMatchesDirect(t *testing.T) {
+	in := engineTestInstance()
+	const unit = 0.25
+	want := Assign(in, unit)
+	resp, err := engine.New(engine.Options{}).Solve(context.Background(),
+		&engine.Request{Backend: "multires", Payload: SolveSpec{In: in, Unit: unit}, WantUtility: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Server {
+		if resp.Assignment.Server[i] != want.Server[i] || resp.Assignment.Alloc[i] != want.Bundles[i] {
+			t.Fatalf("thread %d: got (%d, %v), want (%d, %v)",
+				i, resp.Assignment.Server[i], resp.Assignment.Alloc[i], want.Server[i], want.Bundles[i])
+		}
+	}
+	if wantU := want.Utility(in); resp.Utility != wantU {
+		t.Fatalf("utility %v, want %v", resp.Utility, wantU)
+	}
+
+	for _, bad := range []any{nil, in, SolveSpec{In: in, Unit: 0}, SolveSpec{Unit: 0.25}} {
+		if _, err := engine.New(engine.Options{}).Solve(context.Background(),
+			&engine.Request{Backend: "multires", Payload: bad}); !errors.Is(err, engine.ErrBadRequest) {
+			t.Fatalf("payload %v returned %v, want ErrBadRequest", bad, err)
+		}
+	}
+}

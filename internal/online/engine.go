@@ -1,0 +1,38 @@
+package online
+
+import (
+	"context"
+	"fmt"
+
+	"aa/internal/engine"
+)
+
+// The online backend snapshots a live State's active thread set (in
+// ascending id order) and solves it with the stock assign2 handler, so
+// ad-hoc re-solves of a running system — from aaserve or a CLI — ride
+// the same pipeline as policy re-solves. The state is read through its
+// scratch buffers, so a request must not race the state's own event
+// loop; it does not modify placements.
+func init() {
+	a2, ok := engine.Lookup("assign2")
+	if !ok {
+		panic("online: assign2 backend not registered")
+	}
+	engine.Register(engine.Backend{
+		Name:       "online",
+		Doc:        "Algorithm 2 over an online State's active threads (request Payload: *online.State)",
+		Guaranteed: true,
+		Handle: func(ctx context.Context, req *engine.Request, resp *engine.Response) error {
+			s, ok := req.Payload.(*State)
+			if !ok {
+				return fmt.Errorf("%w: online backend needs Payload of type *online.State", engine.ErrBadRequest)
+			}
+			in, ids := s.instance()
+			if len(ids) == 0 {
+				return fmt.Errorf("%w: online state has no active threads", engine.ErrBadRequest)
+			}
+			req.Instance = in
+			return a2.Handle(ctx, req, resp)
+		},
+	})
+}

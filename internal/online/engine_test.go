@@ -1,0 +1,48 @@
+package online
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"aa/internal/core"
+	"aa/internal/engine"
+	"aa/internal/rng"
+	"aa/internal/utility"
+)
+
+// TestEngineBackendMatchesDirect pins the online adapter: it solves the
+// state's active set (ascending id order) exactly as assign2 on a
+// hand-built snapshot, without touching placements.
+func TestEngineBackendMatchesDirect(t *testing.T) {
+	s := NewState(3, 100)
+	r := rng.New(13)
+	for id := 0; id < 12; id++ {
+		s.Threads[id] = randomUtility(r, 100)
+	}
+	threads := make([]utility.Func, 0, 12)
+	for id := 0; id < 12; id++ {
+		threads = append(threads, s.Threads[id])
+	}
+	want := core.Assign2(&core.Instance{M: 3, C: 100, Threads: threads})
+
+	resp, err := engine.New(engine.Options{}).Solve(context.Background(),
+		&engine.Request{Backend: "online", Payload: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Server {
+		if resp.Assignment.Server[i] != want.Server[i] || resp.Assignment.Alloc[i] != want.Alloc[i] {
+			t.Fatalf("thread %d: got (%d, %v), want (%d, %v)",
+				i, resp.Assignment.Server[i], resp.Assignment.Alloc[i], want.Server[i], want.Alloc[i])
+		}
+	}
+	if len(s.Place) != 0 {
+		t.Fatal("engine solve must not touch placements")
+	}
+
+	if _, err := engine.New(engine.Options{}).Solve(context.Background(),
+		&engine.Request{Backend: "online", Payload: NewState(2, 10)}); !errors.Is(err, engine.ErrBadRequest) {
+		t.Fatalf("empty state returned %v, want ErrBadRequest", err)
+	}
+}

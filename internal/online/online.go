@@ -20,12 +20,14 @@
 package online
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"aa/internal/alloc"
 	"aa/internal/check"
 	"aa/internal/core"
+	"aa/internal/engine"
 	"aa/internal/utility"
 )
 
@@ -59,6 +61,24 @@ type State struct {
 	C       float64
 	Threads map[int]utility.Func
 	Place   map[int]Placement
+
+	// scr holds the scratch a policy reuses across events — the sorted
+	// id order, the instance snapshot, the engine request/response of a
+	// full re-solve, and the per-server reallocation buffers — so a
+	// steady-state event loop performs no per-event heap allocation
+	// (pinned by TestReactStableAllocs). A State is single-goroutine,
+	// like the simulation that owns it.
+	scr struct {
+		ids     []int
+		threads []utility.Func
+		inst    core.Instance
+		req     engine.Request
+		resp    engine.Response
+		members []int
+		capped  []cappedAt
+		fs      []utility.Func
+		dst     []float64
+	}
 }
 
 // NewState returns an empty system of m servers with capacity c.
@@ -67,13 +87,15 @@ func NewState(m int, c float64) *State {
 }
 
 // ids returns the active thread ids in ascending order (determinism).
+// The returned slice is scratch owned by the state, valid until the
+// next ids or instance call.
 func (s *State) ids() []int {
-	out := make([]int, 0, len(s.Threads))
+	s.scr.ids = s.scr.ids[:0]
 	for id := range s.Threads {
-		out = append(out, id)
+		s.scr.ids = append(s.scr.ids, id)
 	}
-	sort.Ints(out)
-	return out
+	sort.Ints(s.scr.ids)
+	return s.scr.ids
 }
 
 // TotalUtility returns the instantaneous utility rate Σ f_i(alloc_i).
@@ -142,35 +164,50 @@ func (s *State) Check(eps float64) error {
 	return check.Feasible(in, a, eps)
 }
 
-// instance builds a core.Instance snapshot plus the id order used.
+// instance builds a core.Instance snapshot plus the id order used,
+// reusing the state's scratch buffers. The snapshot is valid until the
+// next instance or ids call.
 func (s *State) instance() (*core.Instance, []int) {
 	ids := s.ids()
-	threads := make([]utility.Func, len(ids))
-	for k, id := range ids {
-		threads[k] = s.Threads[id]
+	s.scr.threads = s.scr.threads[:0]
+	for _, id := range ids {
+		s.scr.threads = append(s.scr.threads, s.Threads[id])
 	}
-	return &core.Instance{M: s.M, C: s.C, Threads: threads}, ids
+	s.scr.inst = core.Instance{M: s.M, C: s.C, Threads: s.scr.threads}
+	return &s.scr.inst, ids
 }
 
 // reallocServer re-optimizes allocations within one server, leaving the
-// thread→server map untouched.
+// thread→server map untouched. The capped wrappers, func slice and
+// allocation destination are state scratch (pointers into the capped
+// slice avoid per-member interface boxing), so a steady-state realloc
+// allocates nothing.
 func (s *State) reallocServer(j int) {
-	var members []int
+	scr := &s.scr
+	scr.members = scr.members[:0]
 	for _, id := range s.ids() {
 		if s.Place[id].Server == j {
-			members = append(members, id)
+			scr.members = append(scr.members, id)
 		}
 	}
-	if len(members) == 0 {
+	n := len(scr.members)
+	if n == 0 {
 		return
 	}
-	fs := make([]utility.Func, len(members))
-	for k, id := range members {
-		f := s.Threads[id]
-		fs[k] = cappedAt{f: f, c: minFloat(f.Cap(), s.C)}
+	if cap(scr.capped) < n {
+		scr.capped = make([]cappedAt, n)
+		scr.fs = make([]utility.Func, n)
 	}
-	res := alloc.Concave(fs, s.C)
-	for k, id := range members {
+	scr.capped = scr.capped[:n]
+	scr.fs = scr.fs[:n]
+	for k, id := range scr.members {
+		f := s.Threads[id]
+		scr.capped[k] = cappedAt{f: f, c: minFloat(f.Cap(), s.C)}
+		scr.fs[k] = &scr.capped[k]
+	}
+	res := alloc.ConcaveInto(scr.dst, scr.fs, s.C)
+	scr.dst = res.Alloc
+	for k, id := range scr.members {
 		s.Place[id] = Placement{Server: j, Alloc: res.Alloc[k]}
 	}
 }
@@ -219,7 +256,12 @@ type FullResolve struct{}
 // Name implements Policy.
 func (FullResolve) Name() string { return "full-resolve" }
 
-// React implements Policy.
+// React implements Policy. The re-solve rides the engine pipeline
+// (pooled workspace, telemetry, process-wide checks) through the
+// state's reusable request/response, so a stable steady state re-solves
+// without allocating. In the near-impossible event the engine rejects
+// the solve (a post-solve check violation), placements are left
+// untouched and the simulator's own post-event validation reports it.
 func (FullResolve) React(s *State, ev Event) []int {
 	// Drop placements of departed threads first.
 	for id := range s.Place {
@@ -231,7 +273,11 @@ func (FullResolve) React(s *State, ev Event) []int {
 	if len(ids) == 0 {
 		return nil
 	}
-	a := core.Assign2(in)
+	s.scr.req = engine.Request{Instance: in}
+	if err := engine.Default().SolveInto(context.Background(), &s.scr.req, &s.scr.resp); err != nil {
+		return nil
+	}
+	a := &s.scr.resp.Assignment
 	var migrated []int
 	for k, id := range ids {
 		old, existed := s.Place[id]

@@ -35,6 +35,10 @@ echo "bench_regress: solverpool session benchmark..."
 go test -run '^$' -bench '^BenchmarkSolveSession$' \
   -benchtime "$BENCHTIME" ./internal/solverpool/ | tee -a "$tmp"
 
+echo "bench_regress: engine pipeline benchmark..."
+go test -run '^$' -bench '^BenchmarkEngineSolve$' \
+  -benchtime "$BENCHTIME" ./internal/engine/ | tee -a "$tmp"
+
 go run ./cmd/benchgate -emit -rev "$REV" <"$tmp" >"$OUT"
 echo "bench_regress: wrote $OUT"
 
