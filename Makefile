@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmtcheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke serve-smoke staticcheck vulncheck bench-json bench-regress ci bench figures examples cover clean
+.PHONY: all build test vet fmtcheck tidy-check race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke serve-smoke replay-smoke cover-floor staticcheck vulncheck bench-json bench-regress ci bench figures examples cover clean
 
 all: build vet fmtcheck test
 
@@ -19,6 +19,15 @@ test:
 fmtcheck:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# go.mod must be tidy. -diff needs Go 1.23+; skips with a notice on
+# older toolchains (CI runs it on the stable lane only).
+tidy-check:
+	@if $(GO) mod tidy -help 2>&1 | grep -q -- '-diff'; then \
+		$(GO) mod tidy -diff; \
+	else \
+		echo "go mod tidy -diff unsupported by this toolchain; skipping"; \
+	fi
 
 # Full test suite under the race detector.
 race:
@@ -54,6 +63,16 @@ metrics-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# Deterministic-replay gate: diurnal, flash, failures and a recorded
+# trace replayed twice with the same seed; any byte difference between
+# the canonical reports fails.
+replay-smoke:
+	./scripts/replay_smoke.sh
+
+# Statement-coverage floors for internal/replay and internal/online.
+cover-floor:
+	./scripts/coverage_floor.sh
+
 # Static analysis beyond go vet. Skips with a notice when the binary is
 # not installed (CI installs it; no module dependency is added).
 staticcheck:
@@ -86,7 +105,7 @@ bench-regress:
 	./scripts/bench_regress.sh
 
 # Mirror of .github/workflows/ci.yml.
-ci: build vet fmtcheck staticcheck vulncheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke serve-smoke bench-regress
+ci: build vet fmtcheck tidy-check staticcheck vulncheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke bench-regress metrics-smoke serve-smoke replay-smoke cover-floor
 
 # One benchmark per paper figure/claim plus micro-benchmarks.
 bench:

@@ -10,9 +10,11 @@ import (
 // The online backend snapshots a live State's active thread set (in
 // ascending id order) and solves it with the stock assign2 handler, so
 // ad-hoc re-solves of a running system — from aaserve or a CLI — ride
-// the same pipeline as policy re-solves. The state is read through its
-// scratch buffers, so a request must not race the state's own event
-// loop; it does not modify placements.
+// the same pipeline as policy re-solves. The instance is built over the
+// state's UP servers only: the response's server index j names the j-th
+// up server in ascending order (the identity when nothing is failed).
+// The state is read through its scratch buffers, so a request must not
+// race the state's own event loop; it does not modify placements.
 func init() {
 	a2, ok := engine.Lookup("assign2")
 	if !ok {
@@ -27,9 +29,12 @@ func init() {
 			if !ok {
 				return fmt.Errorf("%w: online backend needs Payload of type *online.State", engine.ErrBadRequest)
 			}
-			in, ids := s.instance()
+			in, ids, up, _ := s.instance()
 			if len(ids) == 0 {
 				return fmt.Errorf("%w: online state has no active threads", engine.ErrBadRequest)
+			}
+			if len(up) == 0 {
+				return fmt.Errorf("%w: online state has no servers up", engine.ErrBadRequest)
 			}
 			req.Instance = in
 			return a2.Handle(ctx, req, resp)

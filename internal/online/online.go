@@ -4,12 +4,13 @@
 // Thus, we would like to integrate online performance measurements into
 // our algorithms to produce dynamically optimal assignments").
 //
-// An event-driven simulator feeds a timeline of arrivals, departures and
-// utility drifts (re-measurements) to a rebalancing policy. Between
-// events the system accrues total utility per unit time; every thread
-// migration (server change for an already-placed thread) costs a fixed
-// penalty, modelling cache-refill or VM move cost. Policies trade
-// assignment quality against migration churn:
+// An event-driven simulator feeds a timeline of arrivals, departures,
+// utility drifts (re-measurements) and server failure/recovery events to
+// a rebalancing policy. Between events the system accrues total utility
+// per unit time; every thread migration (server change for an
+// already-placed thread) costs a fixed penalty, modelling cache-refill
+// or VM move cost. Policies trade assignment quality against migration
+// churn:
 //
 //   - FullResolve re-runs Algorithm 2 on every event (best utility, most
 //     migrations),
@@ -23,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"aa/internal/alloc"
 	"aa/internal/check"
@@ -36,16 +38,37 @@ type EventKind int
 
 // Event kinds.
 const (
-	Arrive EventKind = iota // a new thread appears
-	Depart                  // a thread leaves
-	Drift                   // a thread's utility is re-measured
+	Arrive  EventKind = iota // a new thread appears
+	Depart                   // a thread leaves
+	Drift                    // a thread's utility is re-measured
+	Fail                     // a server goes down (Event.ID is a server index)
+	Recover                  // a failed server comes back (Event.ID is a server index)
 )
 
-// Event is one timeline entry. Events must be sorted by Time.
+// String names the kind for reports and errors.
+func (k EventKind) String() string {
+	switch k {
+	case Arrive:
+		return "arrive"
+	case Depart:
+		return "depart"
+	case Drift:
+		return "drift"
+	case Fail:
+		return "fail"
+	case Recover:
+		return "recover"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one timeline entry. Events must be sorted by Time. For Fail
+// and Recover the ID is a server index; for the other kinds it is a
+// thread identity.
 type Event struct {
 	Time float64
 	Kind EventKind
-	ID   int          // thread identity
+	ID   int          // thread identity (server index for Fail/Recover)
 	Util utility.Func // for Arrive and Drift
 }
 
@@ -55,12 +78,17 @@ type Placement struct {
 	Alloc  float64
 }
 
-// State is the live system: the active threads and their placements.
+// State is the live system: the active threads, their placements and
+// the set of failed servers.
 type State struct {
 	M       int
 	C       float64
 	Threads map[int]utility.Func
 	Place   map[int]Placement
+	// Down marks failed servers; nil (the common case) means all up. A
+	// thread placed on a down server is infeasible — policies must
+	// evacuate on Fail.
+	Down []bool
 
 	// scr holds the scratch a policy reuses across events — the sorted
 	// id order, the instance snapshot, the engine request/response of a
@@ -70,6 +98,7 @@ type State struct {
 	// like the simulation that owns it.
 	scr struct {
 		ids     []int
+		uids    []int // TotalUtility's private id order (no aliasing with ids)
 		threads []utility.Func
 		inst    core.Instance
 		req     engine.Request
@@ -78,6 +107,8 @@ type State struct {
 		capped  []cappedAt
 		fs      []utility.Func
 		dst     []float64
+		up      []int // ascending indices of up servers
+		upIdx   []int // real server index -> position in up, -1 when down
 	}
 }
 
@@ -98,19 +129,89 @@ func (s *State) ids() []int {
 	return s.scr.ids
 }
 
+// ServerUp reports whether server j is up.
+func (s *State) ServerUp(j int) bool {
+	return s.Down == nil || j >= len(s.Down) || !s.Down[j]
+}
+
+// SetServerDown marks server j failed (down=true) or recovered.
+func (s *State) SetServerDown(j int, down bool) {
+	if s.Down == nil {
+		if !down {
+			return
+		}
+		s.Down = make([]bool, s.M)
+	}
+	s.Down[j] = down
+}
+
+// UpCount returns the number of servers currently up.
+func (s *State) UpCount() int {
+	if s.Down == nil {
+		return s.M
+	}
+	n := 0
+	for j := 0; j < s.M; j++ {
+		if s.ServerUp(j) {
+			n++
+		}
+	}
+	return n
+}
+
+// upServers returns the ascending indices of up servers plus the
+// reverse map (real index → position in the up list, -1 when down).
+// Both slices are scratch owned by the state, valid until the next
+// upServers or instance call.
+func (s *State) upServers() (up, upIdx []int) {
+	s.scr.up = s.scr.up[:0]
+	if cap(s.scr.upIdx) < s.M {
+		s.scr.upIdx = make([]int, s.M)
+	}
+	s.scr.upIdx = s.scr.upIdx[:s.M]
+	for j := 0; j < s.M; j++ {
+		if s.ServerUp(j) {
+			s.scr.upIdx[j] = len(s.scr.up)
+			s.scr.up = append(s.scr.up, j)
+		} else {
+			s.scr.upIdx[j] = -1
+		}
+	}
+	return s.scr.up, s.scr.upIdx
+}
+
 // TotalUtility returns the instantaneous utility rate Σ f_i(alloc_i).
+// The sum runs in ascending thread-id order so that repeated
+// evaluations of the same state are bit-identical — the property the
+// replay harness's determinism gate relies on (float addition is not
+// associative, so map order would leak into reports).
 func (s *State) TotalUtility() float64 {
+	s.scr.uids = s.scr.uids[:0]
+	for id := range s.Threads {
+		s.scr.uids = append(s.scr.uids, id)
+	}
+	sort.Ints(s.scr.uids)
 	total := 0.0
-	for id, f := range s.Threads {
-		total += f.Value(s.Place[id].Alloc)
+	for _, id := range s.scr.uids {
+		total += s.Threads[id].Value(s.Place[id].Alloc)
 	}
 	return total
 }
 
-// Loads returns the per-server allocation sums.
+// Loads returns the per-server allocation sums. Placements are summed
+// in ascending thread-id order: float addition is not associative, and
+// policies choose servers by comparing these sums, so map-order
+// accumulation would leak ULP-level nondeterminism into placement
+// decisions (the replay determinism gate catches exactly this).
 func (s *State) Loads() []float64 {
 	loads := make([]float64, s.M)
-	for _, p := range s.Place {
+	ids := make([]int, 0, len(s.Place))
+	for id := range s.Place {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		p := s.Place[id]
 		loads[p.Server] += p.Alloc
 	}
 	return loads
@@ -125,6 +226,9 @@ func (s *State) Validate(tol float64) error {
 		}
 		if p.Server < 0 || p.Server >= s.M {
 			return fmt.Errorf("online: thread %d on invalid server %d", id, p.Server)
+		}
+		if !s.ServerUp(p.Server) {
+			return fmt.Errorf("online: thread %d placed on failed server %d", id, p.Server)
 		}
 		if p.Alloc < -tol {
 			return fmt.Errorf("online: thread %d negative allocation", id)
@@ -148,7 +252,7 @@ func (s *State) Validate(tol float64) error {
 // enforces each thread's own utility cap (not just server capacity) and
 // counts the outcome into the aa_check_* metrics.
 func (s *State) Check(eps float64) error {
-	in, ids := s.instance()
+	in, ids, _, upIdx := s.instance()
 	if len(ids) == 0 {
 		return nil
 	}
@@ -158,23 +262,31 @@ func (s *State) Check(eps float64) error {
 		if !ok {
 			return fmt.Errorf("%w: thread %d unplaced", check.ErrInfeasible, id)
 		}
-		a.Server[k] = p.Server
+		if p.Server < 0 || p.Server >= s.M || upIdx[p.Server] < 0 {
+			return fmt.Errorf("%w: thread %d placed on failed or invalid server %d",
+				check.ErrInfeasible, id, p.Server)
+		}
+		a.Server[k] = upIdx[p.Server]
 		a.Alloc[k] = p.Alloc
 	}
 	return check.Feasible(in, a, eps)
 }
 
-// instance builds a core.Instance snapshot plus the id order used,
-// reusing the state's scratch buffers. The snapshot is valid until the
-// next instance or ids call.
-func (s *State) instance() (*core.Instance, []int) {
-	ids := s.ids()
+// instance builds a core.Instance snapshot over the UP servers only,
+// plus the id order used, the up-server list and its reverse map: the
+// instance's server index j stands for real server up[j]. With no
+// failed servers the mapping is the identity. All four return values
+// are scratch owned by the state, valid until the next instance or ids
+// call.
+func (s *State) instance() (in *core.Instance, ids, up, upIdx []int) {
+	ids = s.ids()
+	up, upIdx = s.upServers()
 	s.scr.threads = s.scr.threads[:0]
 	for _, id := range ids {
 		s.scr.threads = append(s.scr.threads, s.Threads[id])
 	}
-	s.scr.inst = core.Instance{M: s.M, C: s.C, Threads: s.scr.threads}
-	return &s.scr.inst, ids
+	s.scr.inst = core.Instance{M: len(up), C: s.C, Threads: s.scr.threads}
+	return &s.scr.inst, ids, up, upIdx
 }
 
 // reallocServer re-optimizes allocations within one server, leaving the
@@ -251,38 +363,56 @@ type Policy interface {
 }
 
 // FullResolve re-runs Algorithm 2 on the active set after every event.
-type FullResolve struct{}
+// Engine, when non-nil, names the pipeline the re-solves ride (the
+// replay harness injects an engine with latency-counting middleware);
+// nil uses the process-wide default.
+type FullResolve struct {
+	Engine *engine.Engine
+}
 
 // Name implements Policy.
 func (FullResolve) Name() string { return "full-resolve" }
 
+func (f FullResolve) engine() *engine.Engine {
+	if f.Engine != nil {
+		return f.Engine
+	}
+	return engine.Default()
+}
+
 // React implements Policy. The re-solve rides the engine pipeline
 // (pooled workspace, telemetry, process-wide checks) through the
 // state's reusable request/response, so a stable steady state re-solves
-// without allocating. In the near-impossible event the engine rejects
-// the solve (a post-solve check violation), placements are left
+// without allocating. The instance is built over the up servers only,
+// so failures and recoveries are handled by construction — the solver
+// never sees a down server and evacuated threads land wherever
+// Algorithm 2 puts them. In the near-impossible event the engine
+// rejects the solve (a post-solve check violation), placements are left
 // untouched and the simulator's own post-event validation reports it.
-func (FullResolve) React(s *State, ev Event) []int {
+func (f FullResolve) React(s *State, ev Event) []int {
 	// Drop placements of departed threads first.
 	for id := range s.Place {
 		if _, ok := s.Threads[id]; !ok {
 			delete(s.Place, id)
 		}
 	}
-	in, ids := s.instance()
-	if len(ids) == 0 {
+	in, ids, up, _ := s.instance()
+	if len(ids) == 0 || len(up) == 0 {
 		return nil
 	}
 	s.scr.req = engine.Request{Instance: in}
-	if err := engine.Default().SolveInto(context.Background(), &s.scr.req, &s.scr.resp); err != nil {
+	if err := f.engine().SolveInto(context.Background(), &s.scr.req, &s.scr.resp); err != nil {
 		return nil
 	}
 	a := &s.scr.resp.Assignment
 	var migrated []int
 	for k, id := range ids {
 		old, existed := s.Place[id]
-		next := Placement{Server: a.Server[k], Alloc: a.Alloc[k]}
-		if existed && id != ev.ID && old.Server != next.Server {
+		next := Placement{Server: up[a.Server[k]], Alloc: a.Alloc[k]}
+		// The event's own thread does not count as a migration; for
+		// Fail/Recover the ID is a server, so every move counts.
+		self := id == ev.ID && ev.Kind != Fail && ev.Kind != Recover
+		if existed && !self && old.Server != next.Server {
 			migrated = append(migrated, id)
 		}
 		s.Place[id] = next
@@ -290,23 +420,38 @@ func (FullResolve) React(s *State, ev Event) []int {
 	return migrated
 }
 
-// Incremental never migrates existing threads: arrivals go to the
-// least-loaded server, and only the affected server is re-allocated.
+// Incremental only migrates existing threads when a failure forces it:
+// arrivals go to the least-loaded up server, departures and drifts
+// re-allocate within the affected server, and a server failure
+// evacuates its threads to the least-loaded survivors (the only
+// migrations this policy ever performs).
 type Incremental struct{}
 
 // Name implements Policy.
 func (Incremental) Name() string { return "incremental" }
 
+// leastLoadedUp returns the up server with the smallest load in loads,
+// or -1 when every server is down.
+func (s *State) leastLoadedUp(loads []float64) int {
+	best := -1
+	for j := 0; j < s.M; j++ {
+		if !s.ServerUp(j) {
+			continue
+		}
+		if best < 0 || loads[j] < loads[best] {
+			best = j
+		}
+	}
+	return best
+}
+
 // React implements Policy.
 func (Incremental) React(s *State, ev Event) []int {
 	switch ev.Kind {
 	case Arrive:
-		loads := s.Loads()
-		best := 0
-		for j := 1; j < s.M; j++ {
-			if loads[j] < loads[best] {
-				best = j
-			}
+		best := s.leastLoadedUp(s.Loads())
+		if best < 0 {
+			return nil // no server up; Validate reports the unplaced thread
 		}
 		s.Place[ev.ID] = Placement{Server: best, Alloc: 0}
 		s.reallocServer(best)
@@ -319,17 +464,63 @@ func (Incremental) React(s *State, ev Event) []int {
 		if p, ok := s.Place[ev.ID]; ok {
 			s.reallocServer(p.Server)
 		}
+	case Fail:
+		return s.evacuate(ev.ID)
+	case Recover:
+		// Nothing to rebalance: the recovered server starts empty and
+		// fills from future arrivals.
 	}
 	return nil
+}
+
+// evacuate moves every thread off the failed server j onto the
+// least-loaded surviving servers (balancing by each thread's previous
+// allocation as the load estimate), then re-allocates each touched
+// server. The moved ids are the forced migrations.
+func (s *State) evacuate(j int) []int {
+	var moved []int
+	for _, id := range s.ids() {
+		if s.Place[id].Server == j {
+			moved = append(moved, id)
+		}
+	}
+	if len(moved) == 0 {
+		return nil
+	}
+	loads := s.Loads()
+	touched := map[int]bool{}
+	for _, id := range moved {
+		prev := s.Place[id].Alloc
+		best := s.leastLoadedUp(loads)
+		if best < 0 {
+			// Nowhere to go: leave the placement for Validate to flag.
+			return nil
+		}
+		s.Place[id] = Placement{Server: best, Alloc: 0}
+		loads[best] += prev
+		touched[best] = true
+	}
+	// Deterministic realloc order.
+	order := make([]int, 0, len(touched))
+	for t := range touched {
+		order = append(order, t)
+	}
+	sort.Ints(order)
+	for _, t := range order {
+		s.reallocServer(t)
+	}
+	return moved
 }
 
 // Hybrid runs Incremental, then falls back to a full re-solve whenever
 // the incremental state's utility drops below Threshold times the
 // super-optimal bound of the active set (the paper's α ≈ 0.828 is the
 // natural setting: rebuild when the incremental state is worse than the
-// approximation guarantee).
+// approximation guarantee). Engine, when non-nil, is the pipeline the
+// fallback re-solves ride.
 type Hybrid struct {
 	Threshold float64
+	Engine    *engine.Engine
 }
 
 // Name implements Policy.
@@ -338,15 +529,15 @@ func (h Hybrid) Name() string { return fmt.Sprintf("hybrid(%.2f)", h.Threshold) 
 // React implements Policy.
 func (h Hybrid) React(s *State, ev Event) []int {
 	migrated := (Incremental{}).React(s, ev)
-	in, _ := s.instance()
-	if in.N() == 0 {
+	in, _, up, _ := s.instance()
+	if in.N() == 0 || len(up) == 0 {
 		return migrated
 	}
 	bound := core.SuperOptimal(in).Total
 	if bound <= 0 || s.TotalUtility() >= h.Threshold*bound {
 		return migrated
 	}
-	return append(migrated, (FullResolve{}).React(s, ev)...)
+	return append(migrated, (FullResolve{Engine: h.Engine}).React(s, ev)...)
 }
 
 // Result summarizes a simulation.
@@ -358,15 +549,47 @@ type Result struct {
 	FinalThreads    int
 }
 
+// EventInfo is the per-event observation delivered to an Options.Hook:
+// which timeline entry was just applied, how many threads the policy
+// migrated, and how long the policy's React took in wall time (the
+// replay harness turns that into solve-latency percentiles; it is NOT
+// deterministic and must stay out of any byte-compared report).
+type EventInfo struct {
+	Index     int
+	Event     Event
+	Migrated  int
+	ReactWall time.Duration
+}
+
+// Options parameterize SimulateOpts. The zero value charges no
+// migration cost and observes nothing.
+type Options struct {
+	MoveCost float64
+	Horizon  float64
+	// Hook, when non-nil, is called after each applied event, its
+	// policy reaction and the post-event validation. The hook may read
+	// the state (TotalUtility, Threads, Down, Place) but must not
+	// mutate it.
+	Hook func(info EventInfo, s *State)
+}
+
 // Simulate plays the event timeline (sorted by Time) under the policy,
 // accruing utility between events and charging moveCost per migration.
 // horizon is the end time; events at or after it are ignored.
 func Simulate(m int, c float64, events []Event, policy Policy, moveCost, horizon float64) (Result, error) {
+	return SimulateOpts(m, c, events, policy, Options{MoveCost: moveCost, Horizon: horizon})
+}
+
+// SimulateOpts is Simulate with an observation hook — the entry point
+// of the trace-replay harness (internal/replay), which needs per-event
+// access to the live state for utility-vs-bound accounting and solve
+// latency measurement.
+func SimulateOpts(m int, c float64, events []Event, policy Policy, opts Options) (Result, error) {
 	s := NewState(m, c)
 	var res Result
 	now := 0.0
-	for _, ev := range events {
-		if ev.Time >= horizon {
+	for i, ev := range events {
+		if ev.Time >= opts.Horizon {
 			break
 		}
 		if ev.Time < now {
@@ -394,8 +617,28 @@ func Simulate(m int, c float64, events []Event, policy Policy, moveCost, horizon
 				return Result{}, fmt.Errorf("online: drift %d without utility", ev.ID)
 			}
 			s.Threads[ev.ID] = ev.Util
+		case Fail:
+			if ev.ID < 0 || ev.ID >= s.M {
+				return Result{}, fmt.Errorf("online: fail of invalid server %d", ev.ID)
+			}
+			if !s.ServerUp(ev.ID) {
+				return Result{}, fmt.Errorf("online: server %d failed while already down", ev.ID)
+			}
+			s.SetServerDown(ev.ID, true)
+		case Recover:
+			if ev.ID < 0 || ev.ID >= s.M {
+				return Result{}, fmt.Errorf("online: recovery of invalid server %d", ev.ID)
+			}
+			if s.ServerUp(ev.ID) {
+				return Result{}, fmt.Errorf("online: server %d recovered while up", ev.ID)
+			}
+			s.SetServerDown(ev.ID, false)
+		default:
+			return Result{}, fmt.Errorf("online: unknown event kind %v", ev.Kind)
 		}
+		start := time.Now()
 		migrated := policy.React(s, ev)
+		wall := time.Since(start)
 		res.Migrations += len(migrated)
 		if err := s.Validate(1e-6); err != nil {
 			return Result{}, fmt.Errorf("online: after t=%v: %w", ev.Time, err)
@@ -405,9 +648,12 @@ func Simulate(m int, c float64, events []Event, policy Policy, moveCost, horizon
 				return Result{}, fmt.Errorf("online: after t=%v: %w", ev.Time, err)
 			}
 		}
+		if opts.Hook != nil {
+			opts.Hook(EventInfo{Index: i, Event: ev, Migrated: len(migrated), ReactWall: wall}, s)
+		}
 	}
-	res.UtilityIntegral += s.TotalUtility() * (horizon - now)
-	res.MigrationCost = float64(res.Migrations) * moveCost
+	res.UtilityIntegral += s.TotalUtility() * (opts.Horizon - now)
+	res.MigrationCost = float64(res.Migrations) * opts.MoveCost
 	res.Net = res.UtilityIntegral - res.MigrationCost
 	res.FinalThreads = len(s.Threads)
 	return res, nil

@@ -1,0 +1,125 @@
+// Report types and writers. The JSON encoding is byte-deterministic
+// for a fixed scenario + seed: struct field order is fixed, every float
+// is accumulated in deterministic order, and the only nondeterministic
+// section — wall-clock measurements — is confined to Report.Wall, which
+// Canonical strips for the run-twice byte comparison.
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ScenarioInfo echoes the replayed scenario into the report header.
+type ScenarioInfo struct {
+	Name      string  `json:"name"`
+	Policy    string  `json:"policy"`
+	Solver    string  `json:"solver"` // "engine" or "http"
+	Servers   int     `json:"servers"`
+	Capacity  float64 `json:"capacity"`
+	Horizon   float64 `json:"horizon"`
+	SolveCost float64 `json:"solveCost"`
+}
+
+// UtilityStats is the utility-vs-bound accounting over the horizon:
+// ∫F dt, ∫F̂ dt, their ratio, and the end-of-horizon instantaneous
+// values.
+type UtilityStats struct {
+	Integral      float64 `json:"integral"`
+	BoundIntegral float64 `json:"boundIntegral"`
+	Ratio         float64 `json:"ratio"`
+	Final         float64 `json:"final"`
+	FinalBound    float64 `json:"finalBound"`
+	FinalThreads  int     `json:"finalThreads"`
+}
+
+// SolveStats summarizes the re-solve traffic in virtual time.
+type SolveStats struct {
+	Resolves   int     `json:"resolves"`
+	Migrations int     `json:"migrations"`
+	VirtualP50 float64 `json:"virtualP50"`
+	VirtualP99 float64 `json:"virtualP99"`
+	VirtualMax float64 `json:"virtualMax"`
+	QueuePeak  int     `json:"queuePeak"`
+}
+
+// WallStats is the wall-clock side of the run. It is measured, not
+// modeled, and therefore NOT deterministic — Canonical strips it.
+type WallStats struct {
+	TotalSec     float64 `json:"totalSec"`
+	SolveP50Sec  float64 `json:"solveP50Sec"`
+	SolveP99Sec  float64 `json:"solveP99Sec"`
+	EventsPerSec float64 `json:"eventsPerSec"`
+}
+
+// Sample is one trajectory point: the carried system state at virtual
+// time T.
+type Sample struct {
+	T          float64 `json:"t"`
+	Threads    int     `json:"threads"`
+	UpServers  int     `json:"upServers"`
+	QueueDepth int     `json:"queueDepth"`
+	Resolves   int     `json:"resolves"` // cumulative
+	Utility    float64 `json:"utility"`
+	Bound      float64 `json:"bound"`
+}
+
+// Report is one scenario's replay result.
+type Report struct {
+	Scenario   ScenarioInfo `json:"scenario"`
+	Seed       uint64       `json:"seed"`
+	Trace      TraceStats   `json:"trace"`
+	Utility    UtilityStats `json:"utility"`
+	Solves     SolveStats   `json:"solves"`
+	Wall       *WallStats   `json:"wall,omitempty"`
+	Trajectory []Sample     `json:"trajectory"`
+}
+
+// Canonical returns a copy with every nondeterministic field removed —
+// the form the determinism gate byte-compares.
+func (r *Report) Canonical() *Report {
+	c := *r
+	c.Wall = nil
+	return &c
+}
+
+// WriteJSON writes the report as indented JSON with a trailing newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV writes the trajectory as CSV (one row per sample), the form
+// plotting scripts consume.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "t,threads,up_servers,queue_depth,resolves,utility,bound\n"); err != nil {
+		return err
+	}
+	for _, s := range r.Trajectory {
+		row := fmt.Sprintf("%s,%d,%d,%d,%d,%s,%s\n",
+			formatFloat(s.T), s.Threads, s.UpServers, s.QueueDepth, s.Resolves,
+			formatFloat(s.Utility), formatFloat(s.Bound))
+		if _, err := io.WriteString(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float the way encoding/json does (shortest
+// round-trip form), keeping CSV and JSON representations consistent
+// and byte-deterministic.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Summary returns the one-line stderr summary of a run.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("scenario=%s policy=%s seed=%d events=%d resolves=%d migrations=%d ratio=%.4f p99(virtual)=%.3fs queue-peak=%d",
+		r.Scenario.Name, r.Scenario.Policy, r.Seed, r.Trace.Events,
+		r.Solves.Resolves, r.Solves.Migrations, r.Utility.Ratio,
+		r.Solves.VirtualP99, r.Solves.QueuePeak)
+}

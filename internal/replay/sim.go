@@ -1,0 +1,435 @@
+// The replay harness proper: expand a scenario into a trace, play it
+// through online.SimulateOpts with the chosen policy riding a
+// latency-counting engine pipeline (or a live aaserve endpoint), and
+// fold the per-event observations into a Report.
+//
+// Virtual clock. The trace supplies virtual event times; between
+// events nothing happens, so the harness runs at whatever speed the
+// hardware allows ("accelerated virtual time"). Re-solve latency in
+// virtual time comes from a deterministic cost model — one solve of n
+// threads on m servers occupies a single virtual solver for
+// SolveCost·(n+m)·log2(n+m+2) seconds, with later solves queueing FIFO
+// behind it — so queue-depth trajectories and virtual latency
+// percentiles are bit-reproducible. Wall-clock latency is measured
+// around each policy reaction and reported separately (Report.Wall),
+// outside the determinism contract.
+package replay
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"aa/internal/core"
+	"aa/internal/engine"
+	"aa/internal/instio"
+	"aa/internal/online"
+	"aa/internal/stats"
+	"aa/internal/telemetry"
+	"aa/internal/utility"
+)
+
+// RunOptions parameterize one replay run.
+type RunOptions struct {
+	// Seed derives every random stream of the run.
+	Seed uint64
+	// Addr, when non-empty, replays against a live aaserve endpoint
+	// (http://Addr/solve) instead of the in-process engine. Only the
+	// full-resolve policy is supported remotely.
+	Addr string
+	// Events, when non-nil, is a pre-expanded timeline (a recorded
+	// trace); nil generates the scenario's synthetic trace from Seed.
+	Events []online.Event
+}
+
+// solveObserver collects what the engine middleware (or the HTTP
+// policy) sees per re-solve: the count and the wall latency.
+type solveObserver struct {
+	count   int
+	wallSec []float64
+}
+
+func (o *solveObserver) observe(wall time.Duration) {
+	o.count++
+	o.wallSec = append(o.wallSec, wall.Seconds())
+}
+
+// middleware returns an engine middleware that counts and times every
+// solve dispatched through the injected pipeline — the replay harness's
+// hook into the real engine middleware chain.
+func (o *solveObserver) middleware() engine.Middleware {
+	return func(next engine.Handler) engine.Handler {
+		return func(ctx context.Context, req *engine.Request, resp *engine.Response) error {
+			start := time.Now()
+			err := next(ctx, req, resp)
+			o.observe(time.Since(start))
+			return err
+		}
+	}
+}
+
+// Run replays the scenario under the options and returns its report.
+func Run(sc *Scenario, opts RunOptions) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	events := opts.Events
+	var tstats TraceStats
+	if events == nil {
+		var err error
+		events, tstats, err = Trace(sc, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		tstats = statsOf(events, sc.Horizon)
+	}
+
+	obs := &solveObserver{}
+	var policy online.Policy
+	if opts.Addr != "" {
+		if sc.policyName() != "full-resolve" {
+			return nil, fmt.Errorf("replay: remote replay (-addr) supports only the full-resolve policy, scenario wants %q", sc.policyName())
+		}
+		policy = &httpResolve{addr: opts.Addr, obs: obs}
+	} else {
+		eng := engine.New(engine.Options{Middleware: []engine.Middleware{obs.middleware()}})
+		defer eng.Close()
+		switch sc.policyName() {
+		case "full-resolve":
+			policy = online.FullResolve{Engine: eng}
+		case "incremental":
+			policy = online.Incremental{}
+		case "hybrid":
+			thr := sc.HybridThreshold
+			if thr == 0 {
+				thr = core.Alpha
+			}
+			policy = online.Hybrid{Threshold: thr, Engine: eng}
+		default:
+			return nil, fmt.Errorf("replay: unknown policy %q", sc.policyName())
+		}
+	}
+
+	span := telemetry.StartSpan("replay.run",
+		telemetry.String("scenario", sc.Name), telemetry.Int("events", tstats.Events))
+	defer span.End()
+
+	acc := newAccumulator(sc, obs)
+	wallStart := time.Now()
+	res, err := online.SimulateOpts(sc.Servers, sc.Capacity, events, policy,
+		online.Options{Horizon: sc.Horizon, Hook: acc.hook})
+	if err != nil {
+		return nil, fmt.Errorf("replay: scenario %q: %w", sc.Name, err)
+	}
+	wallTotal := time.Since(wallStart)
+
+	if telemetry.Enabled() {
+		reg := telemetry.Default
+		reg.Counter(telemetry.Label("aa_replay_runs_total", "scenario", sc.Name)).Inc()
+		reg.Counter(telemetry.Label("aa_replay_events_total", "scenario", sc.Name)).Add(uint64(tstats.Events))
+		reg.Counter(telemetry.Label("aa_replay_resolves_total", "scenario", sc.Name)).Add(uint64(obs.count))
+	}
+
+	return acc.report(sc, opts, tstats, res, obs, wallTotal), nil
+}
+
+// accumulator folds per-event hook observations into the report: the
+// utility/bound integrals, the virtual solve queue, and the trajectory
+// samples. All arithmetic is in deterministic event order.
+type accumulator struct {
+	sc        *Scenario
+	solveCost float64
+
+	prevT       float64
+	prevUtil    float64
+	prevBound   float64
+	utilInt     float64
+	boundInt    float64
+	finalUtil   float64
+	finalBound  float64
+	finalUp     int
+	lastSolves  int
+	resolves    int
+	migrations  int
+	queue       []float64 // virtual completion times of in-flight solves
+	busyUntil   float64
+	virtLatency []float64
+	queuePeak   int
+
+	grid    []Sample
+	gridIdx int
+
+	// scratch for the bound instance
+	ids []int
+	fs  []utility.Func
+
+	obs *solveObserver
+}
+
+func newAccumulator(sc *Scenario, obs *solveObserver) *accumulator {
+	n := sc.gridPoints()
+	a := &accumulator{sc: sc, solveCost: sc.solveCost(), finalUp: sc.Servers, obs: obs}
+	a.grid = make([]Sample, 0, n+1)
+	return a
+}
+
+// gridTimes returns the k-th sample time.
+func (a *accumulator) gridTime(k int) float64 {
+	n := a.sc.gridPoints()
+	return a.sc.Horizon * float64(k) / float64(n)
+}
+
+// advanceTo fills trajectory samples strictly before t with the current
+// carried state and pops completed virtual solves.
+func (a *accumulator) advanceTo(t float64) {
+	n := a.sc.gridPoints()
+	for a.gridIdx <= n {
+		st := a.gridTime(a.gridIdx)
+		if st >= t {
+			break
+		}
+		a.sampleAt(st)
+		a.gridIdx++
+	}
+}
+
+// sampleAt records one trajectory point at virtual time st using the
+// carried (post-previous-event) state.
+func (a *accumulator) sampleAt(st float64) {
+	depth := 0
+	for _, done := range a.queue {
+		if done > st {
+			depth++
+		}
+	}
+	a.grid = append(a.grid, Sample{
+		T:          st,
+		Threads:    len(a.ids),
+		UpServers:  a.finalUp,
+		QueueDepth: depth,
+		Resolves:   a.resolves,
+		Utility:    a.prevUtil,
+		Bound:      a.prevBound,
+	})
+}
+
+// hook is the online.Options.Hook: called after every applied event.
+func (a *accumulator) hook(info online.EventInfo, s *online.State) {
+	t := info.Event.Time
+	// Integrate the piecewise-constant utility and bound up to t.
+	a.utilInt += a.prevUtil * (t - a.prevT)
+	a.boundInt += a.prevBound * (t - a.prevT)
+	a.advanceTo(t)
+
+	// Pop virtual solves that completed by now.
+	for len(a.queue) > 0 && a.queue[0] <= t {
+		a.queue = a.queue[1:]
+	}
+
+	// Recompute the instantaneous utility and super-optimal bound of
+	// the post-event state, in sorted-id order.
+	a.ids = a.ids[:0]
+	a.fs = a.fs[:0]
+	for id := range s.Threads {
+		a.ids = append(a.ids, id)
+	}
+	sortInts(a.ids)
+	for _, id := range a.ids {
+		a.fs = append(a.fs, s.Threads[id])
+	}
+	up := s.UpCount()
+	a.finalUp = up
+	a.prevUtil = s.TotalUtility()
+	a.prevBound = 0
+	if len(a.fs) > 0 && up > 0 {
+		in := core.Instance{M: up, C: s.C, Threads: a.fs}
+		a.prevBound = core.SuperOptimal(&in).Total
+	}
+	a.prevT = t
+	a.migrations += info.Migrated
+
+	// Charge the virtual solver for any re-solves this event issued.
+	newSolves := a.obs.count - a.lastSolves
+	a.lastSolves = a.obs.count
+	for k := 0; k < newSolves; k++ {
+		nm := float64(len(a.fs) + a.sc.Servers)
+		service := a.solveCost * nm * math.Log2(nm+2)
+		if a.busyUntil < t {
+			a.busyUntil = t
+		}
+		a.busyUntil += service
+		a.queue = append(a.queue, a.busyUntil)
+		a.virtLatency = append(a.virtLatency, a.busyUntil-t)
+		a.resolves++
+	}
+	if d := len(a.queue); d > a.queuePeak {
+		a.queuePeak = d
+	}
+}
+
+// report closes the integrals at the horizon, fills the trajectory tail
+// and assembles the Report.
+func (a *accumulator) report(sc *Scenario, opts RunOptions, tstats TraceStats,
+	res online.Result, obs *solveObserver, wallTotal time.Duration) *Report {
+	a.utilInt += a.prevUtil * (sc.Horizon - a.prevT)
+	a.boundInt += a.prevBound * (sc.Horizon - a.prevT)
+	// Remaining samples up to and including the horizon.
+	n := sc.gridPoints()
+	for a.gridIdx <= n {
+		a.sampleAt(a.gridTime(a.gridIdx))
+		a.gridIdx++
+	}
+
+	ratio := 0.0
+	if a.boundInt > 0 {
+		ratio = a.utilInt / a.boundInt
+	}
+	rep := &Report{
+		Scenario: ScenarioInfo{
+			Name:    sc.Name,
+			Policy:  sc.policyName(),
+			Solver:  solverLabel(opts),
+			Servers: sc.Servers, Capacity: sc.Capacity, Horizon: sc.Horizon,
+			SolveCost: sc.solveCost(),
+		},
+		Seed:  opts.Seed,
+		Trace: tstats,
+		Utility: UtilityStats{
+			Integral:      a.utilInt,
+			BoundIntegral: a.boundInt,
+			Ratio:         ratio,
+			Final:         a.prevUtil,
+			FinalBound:    a.prevBound,
+			FinalThreads:  res.FinalThreads,
+		},
+		Solves: SolveStats{
+			Resolves:   a.resolves,
+			Migrations: a.migrations,
+			VirtualP50: stats.Quantile(a.virtLatency, 0.50),
+			VirtualP99: stats.Quantile(a.virtLatency, 0.99),
+			VirtualMax: maxOf(a.virtLatency),
+			QueuePeak:  a.queuePeak,
+		},
+		Trajectory: a.grid,
+	}
+	rep.Wall = &WallStats{
+		TotalSec:    wallTotal.Seconds(),
+		SolveP50Sec: stats.Quantile(obs.wallSec, 0.50),
+		SolveP99Sec: stats.Quantile(obs.wallSec, 0.99),
+	}
+	if wallTotal > 0 && tstats.Events > 0 {
+		rep.Wall.EventsPerSec = float64(tstats.Events) / wallTotal.Seconds()
+	}
+	return rep
+}
+
+func solverLabel(opts RunOptions) string {
+	if opts.Addr != "" {
+		return "http"
+	}
+	return "engine"
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// sortInts is a tiny insertion sort: the hook's id slice is nearly
+// sorted between events, and avoiding sort.Ints keeps the hook free of
+// interface conversions on the hot path.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// httpResolve is the remote full-resolve policy: every event snapshots
+// the active set over the up servers, POSTs it to a live aaserve
+// /solve endpoint, and applies the returned assignment. The wire round
+// trip is the measured solve latency.
+type httpResolve struct {
+	addr   string
+	obs    *solveObserver
+	client http.Client
+}
+
+// Name implements online.Policy.
+func (*httpResolve) Name() string { return "full-resolve(http)" }
+
+// React implements online.Policy.
+func (p *httpResolve) React(s *online.State, ev online.Event) []int {
+	for id := range s.Place {
+		if _, ok := s.Threads[id]; !ok {
+			delete(s.Place, id)
+		}
+	}
+	var ids, up []int
+	for id := range s.Threads {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	for j := 0; j < s.M; j++ {
+		if s.ServerUp(j) {
+			up = append(up, j)
+		}
+	}
+	if len(ids) == 0 || len(up) == 0 {
+		return nil
+	}
+	fs := make([]utility.Func, len(ids))
+	for k, id := range ids {
+		fs[k] = s.Threads[id]
+	}
+	in := core.Instance{M: len(up), C: s.C, Threads: fs}
+
+	var buf bytes.Buffer
+	if err := instio.Encode(&buf, &in); err != nil {
+		return nil
+	}
+	start := time.Now()
+	resp, err := p.client.Post("http://"+p.addr+"/solve", "application/json", &buf)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var out instio.AssignmentJSON
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&out); err != nil {
+		return nil
+	}
+	p.obs.observe(time.Since(start))
+	if len(out.Server) != len(ids) || len(out.Alloc) != len(ids) {
+		return nil
+	}
+	var migrated []int
+	for k, id := range ids {
+		old, existed := s.Place[id]
+		srv := out.Server[k]
+		if srv < 0 || srv >= len(up) {
+			return migrated
+		}
+		next := online.Placement{Server: up[srv], Alloc: out.Alloc[k]}
+		self := id == ev.ID && ev.Kind != online.Fail && ev.Kind != online.Recover
+		if existed && !self && old.Server != next.Server {
+			migrated = append(migrated, id)
+		}
+		s.Place[id] = next
+	}
+	return migrated
+}

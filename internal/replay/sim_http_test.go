@@ -1,0 +1,82 @@
+package replay
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"aa/internal/engine"
+	"aa/internal/instio"
+)
+
+// solveServer is a minimal stand-in for aaserve's /solve endpoint,
+// speaking the same instio wire format.
+func solveServer(t *testing.T) string {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/solve" {
+			http.NotFound(w, r)
+			return
+		}
+		in, err := instio.Decode(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := engine.Default().Solve(r.Context(), &engine.Request{Instance: in})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := instio.EncodeAssignment(w, in, resp.Assignment); err != nil {
+			t.Errorf("encode assignment: %v", err)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+// Remote replay rides the aaserve wire format, which resamples utility
+// curves onto a fixed grid (instio.reconstructKnots) — so it is a close
+// approximation of in-process replay, not bit-identical to it. Assert
+// agreement within wire tolerance, plus exact bound accounting (the
+// bound is computed locally from the true utilities either way) and
+// run-to-run determinism of the remote path itself.
+func TestRunAgainstHTTPServer(t *testing.T) {
+	addr := solveServer(t)
+	sc := shrink(t, "failures")
+
+	remote, err := Run(sc, RunOptions{Seed: 6, Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := Run(sc, RunOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if remote.Scenario.Solver != "http" || local.Scenario.Solver != "engine" {
+		t.Fatalf("solver labels: remote=%q local=%q", remote.Scenario.Solver, local.Scenario.Solver)
+	}
+	if remote.Solves.Resolves == 0 {
+		t.Fatal("remote replay issued no solves")
+	}
+	if remote.Utility.BoundIntegral != local.Utility.BoundIntegral {
+		t.Errorf("bound integral diverged: remote %v, local %v",
+			remote.Utility.BoundIntegral, local.Utility.BoundIntegral)
+	}
+	if d := remote.Utility.Ratio - local.Utility.Ratio; d > 1e-3 || d < -1e-3 {
+		t.Errorf("ratio diverged beyond wire tolerance: remote %v, local %v",
+			remote.Utility.Ratio, local.Utility.Ratio)
+	}
+
+	again, err := Run(sc, RunOptions{Seed: 6, Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Utility != remote.Utility || again.Solves != remote.Solves {
+		t.Errorf("remote replay not deterministic run-to-run:\n%+v\n%+v",
+			remote.Utility, again.Utility)
+	}
+}

@@ -1,0 +1,217 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"aa/internal/online"
+)
+
+func TestBuiltinsValidate(t *testing.T) {
+	names := Builtins()
+	if len(names) < 3 {
+		t.Fatalf("want at least three built-in scenario families, got %v", names)
+	}
+	for _, name := range names {
+		sc, ok := Builtin(name)
+		if !ok {
+			t.Fatalf("Builtin(%q) missing", name)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("builtin %q invalid: %v", name, err)
+		}
+	}
+	if _, ok := Builtin("no-such-scenario"); ok {
+		t.Error("Builtin accepted an unknown name")
+	}
+}
+
+// Traces must be well formed: sorted times, unique arrival ids, every
+// departure after its arrival, failures always recovered in order, and
+// regeneration with the same seed bit-identical.
+func TestTraceWellFormed(t *testing.T) {
+	for _, name := range Builtins() {
+		t.Run(name, func(t *testing.T) {
+			sc, _ := Builtin(name)
+			events, st, err := Trace(sc, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Arrivals == 0 {
+				t.Fatal("trace has no arrivals")
+			}
+			seenArrive := map[int]float64{}
+			down := map[int]bool{}
+			last := 0.0
+			for i, ev := range events {
+				if ev.Time < last {
+					t.Fatalf("event %d out of order: %v < %v", i, ev.Time, last)
+				}
+				last = ev.Time
+				switch ev.Kind {
+				case online.Arrive:
+					if _, dup := seenArrive[ev.ID]; dup {
+						t.Fatalf("duplicate arrival id %d", ev.ID)
+					}
+					if ev.Util == nil {
+						t.Fatalf("arrival %d without utility", ev.ID)
+					}
+					seenArrive[ev.ID] = ev.Time
+				case online.Depart:
+					at, ok := seenArrive[ev.ID]
+					if !ok {
+						t.Fatalf("departure of unknown thread %d", ev.ID)
+					}
+					if ev.Time < at {
+						t.Fatalf("thread %d departs at %v before arriving at %v", ev.ID, ev.Time, at)
+					}
+				case online.Fail:
+					if down[ev.ID] {
+						t.Fatalf("server %d failed twice", ev.ID)
+					}
+					down[ev.ID] = true
+				case online.Recover:
+					if !down[ev.ID] {
+						t.Fatalf("server %d recovered while up", ev.ID)
+					}
+					down[ev.ID] = false
+				}
+			}
+			if sc.Failures != nil && st.Failures == 0 {
+				t.Error("failure scenario generated no failures")
+			}
+			if name == "churn" && st.Drifts == 0 {
+				t.Error("churn scenario generated no drifts")
+			}
+
+			again, st2, err := Trace(sc, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != st2 || len(again) != len(events) {
+				t.Fatalf("same-seed regeneration differs: %+v vs %+v", st, st2)
+			}
+			for i := range events {
+				a, b := events[i], again[i]
+				if a.Time != b.Time || a.Kind != b.Kind || a.ID != b.ID {
+					t.Fatalf("event %d differs between same-seed traces: %+v vs %+v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestTraceDifferentSeedsDiffer(t *testing.T) {
+	sc, _ := Builtin("flash")
+	a, _, err := Trace(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Trace(sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i].Time != b[i].Time {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	base := func() *Scenario {
+		sc, _ := Builtin("diurnal")
+		return sc
+	}
+	cases := []struct {
+		name   string
+		break_ func(*Scenario)
+	}{
+		{"no name", func(sc *Scenario) { sc.Name = "" }},
+		{"zero servers", func(sc *Scenario) { sc.Servers = 0 }},
+		{"negative capacity", func(sc *Scenario) { sc.Capacity = -1 }},
+		{"zero horizon", func(sc *Scenario) { sc.Horizon = 0 }},
+		{"bad policy", func(sc *Scenario) { sc.Policy = "sorcery" }},
+		{"bad dist", func(sc *Scenario) { sc.Utility.Dist = "cauchy" }},
+		{"zero rate", func(sc *Scenario) { sc.Arrivals.BaseRate = 0 }},
+		{"bad amplitude", func(sc *Scenario) { sc.Arrivals.Diurnal = &DiurnalSpec{Amplitude: 2, Period: 10} }},
+		{"bad burst", func(sc *Scenario) { sc.Arrivals.Bursts = []BurstSpec{{Start: -1, Duration: 1, Multiplier: 2}} }},
+		{"zero lifetime", func(sc *Scenario) { sc.Lifetime.Mean = 0 }},
+		{"group too large", func(sc *Scenario) { sc.Failures = &FailureSpec{MTBF: 10, MTTR: 1, GroupSize: sc.Servers} }},
+		{"negative solve cost", func(sc *Scenario) { sc.SolveCost = -1 }},
+	}
+	for _, tc := range cases {
+		sc := base()
+		tc.break_(sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	_, err := Decode(strings.NewReader(`{"name":"x","servers":2,"capacity":10,"horizon":5,
+		"arrivals":{"baseRate":1},"lifetime":{"mean":1},"utility":{"dist":"uniform"},
+		"flashCrowd": true}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestDecodeTraceRoundTrip(t *testing.T) {
+	src := `{
+		"name": "recorded", "servers": 2, "capacity": 100,
+		"events": [
+			{"t": 1, "kind": "arrive", "id": 0, "v": 3, "w": 1},
+			{"t": 2, "kind": "fail", "id": 1},
+			{"t": 3, "kind": "drift", "id": 0, "v": 2, "w": 2},
+			{"t": 4, "kind": "recover", "id": 1},
+			{"t": 5, "kind": "depart", "id": 0}
+		]
+	}`
+	sc, events, err := DecodeTrace(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "recorded" || sc.Servers != 2 || sc.Horizon != 6 {
+		t.Fatalf("bad envelope: %+v", sc)
+	}
+	if len(events) != 5 {
+		t.Fatalf("got %d events", len(events))
+	}
+	kinds := []online.EventKind{online.Arrive, online.Fail, online.Drift, online.Recover, online.Depart}
+	for i, want := range kinds {
+		if events[i].Kind != want {
+			t.Errorf("event %d kind %v, want %v", i, events[i].Kind, want)
+		}
+	}
+	// The recorded trace must actually replay.
+	rep, err := Run(sc, RunOptions{Seed: 1, Events: events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace.Events != 5 || rep.Utility.FinalThreads != 0 {
+		t.Fatalf("recorded replay: %+v", rep.Trace)
+	}
+}
+
+func TestDecodeTraceErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"no events":     `{"servers":2,"capacity":10,"events":[]}`,
+		"bad kind":      `{"servers":2,"capacity":10,"events":[{"t":1,"kind":"explode","id":0}]}`,
+		"bad time":      `{"servers":2,"capacity":10,"events":[{"t":-1,"kind":"depart","id":0}]}`,
+		"no servers":    `{"capacity":10,"events":[{"t":1,"kind":"depart","id":0}]}`,
+		"unknown field": `{"servers":2,"capacity":10,"wat":1,"events":[{"t":1,"kind":"depart","id":0}]}`,
+	} {
+		if _, _, err := DecodeTrace(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # metrics_smoke.sh — end-to-end check of the live telemetry endpoint.
 #
 # Starts aabench with -metrics-addr=localhost:0 on a workload large
@@ -6,7 +6,8 @@
 # line on stderr to learn the bound port, curls /metrics once, and
 # fails unless every required aa_* metric is present in the exposition.
 # Run from the repository root; CI runs it after the race tests.
-set -eu
+set -euo pipefail
+cd "$(dirname "$0")/.."
 
 tmpdir="$(mktemp -d)"
 stderr_log="$tmpdir/stderr.log"

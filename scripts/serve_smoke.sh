@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # serve_smoke.sh — end-to-end check of the aaserve HTTP service.
 #
 # Builds aaserve and aagen, starts the server on an ephemeral port,
@@ -8,7 +8,8 @@
 # /metrics exposition shows the engine pipeline counters moving. Ends
 # with a SIGTERM and requires a clean drain. Run from the repository
 # root; CI runs it after the metrics smoke.
-set -eu
+set -euo pipefail
+cd "$(dirname "$0")/.."
 
 tmpdir="$(mktemp -d)"
 stderr_log="$tmpdir/stderr.log"
