@@ -14,11 +14,14 @@ package aa
 //	ablations: Algorithm 1 vs 2; allocation-only vs joint optimization
 
 import (
+	"context"
+	"io"
 	"testing"
 
 	"aa/internal/cachesim"
 	"aa/internal/cloud"
 	"aa/internal/core"
+	"aa/internal/engine"
 	"aa/internal/experiment"
 	"aa/internal/gen"
 	"aa/internal/hosting"
@@ -346,6 +349,45 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			core.Assign2(in)
+		}
+	})
+
+	// Context-propagation variants through the full engine pipeline.
+	// ctx-disabled is the request-scoped analogue of the disabled
+	// guarantee: carrying a context through SolveInto with tracing off
+	// must stay at 0 allocs/op (no span machinery touched). ctx-traced
+	// prices a fully traced solve — caller span inherited, engine root +
+	// dispatch + core stage spans serialized to a discarded sink.
+	eng := engine.New(engine.Options{})
+	req := &engine.Request{Instance: in}
+	var resp engine.Response
+	b.Run("ctx-disabled", func(b *testing.B) {
+		telemetry.Disable()
+		ctx := context.Background()
+		if err := eng.SolveInto(ctx, req, &resp); err != nil { // size buffers
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.SolveInto(ctx, req, &resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ctx-traced", func(b *testing.B) {
+		telemetry.Enable()
+		defer telemetry.Disable()
+		telemetry.SetTraceWriter(io.Discard)
+		defer telemetry.SetTraceWriter(nil)
+		ctx, span := telemetry.StartSpanCtx(context.Background(), "bench.caller")
+		defer span.End()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.SolveInto(ctx, req, &resp); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

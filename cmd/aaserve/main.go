@@ -5,18 +5,29 @@
 // Usage:
 //
 //	aaserve [-addr localhost:8080] [-backend a2] [-workers 0] [-queue 0]
-//	        [-deadline 0] [-metrics-addr host:port]
-//	        [-trace-out file.jsonl] [-check]
+//	        [-deadline 0] [-history-interval 10s] [-metrics-addr host:port]
+//	        [-trace-out file.jsonl] [-profile-dir dir] [-check]
 //
 // Endpoints:
 //
-//	POST /solve        one instance (internal/instio JSON) → assignment
-//	POST /solve/batch  JSON array of instances → array of assignments
-//	GET  /backends     the solver registry: one line per backend
-//	GET  /healthz      liveness probe
-//	GET  /metrics      Prometheus text exposition (plus /vars,
-//	                   /debug/vars and /debug/pprof/), the same handler
-//	                   the -metrics-addr flag serves elsewhere
+//	POST /solve           one instance (internal/instio JSON) → assignment
+//	POST /solve/batch     JSON array of instances → array of assignments
+//	GET  /backends        the solver registry: one line per backend
+//	GET  /healthz         liveness probe
+//	GET  /metrics         Prometheus text exposition (plus /vars,
+//	                      /debug/vars and /debug/pprof/), the same handler
+//	                      the -metrics-addr flag serves elsewhere
+//	GET  /metrics/history JSON ring of periodic metric snapshots
+//	                      (-history-interval apart; ?last=N limits)
+//
+// Every request is assigned a request ID (the X-Request-ID header is
+// honored when the caller sends one, minted otherwise and always
+// echoed back) and logged as one structured JSON line on stderr. With
+// tracing on (-trace-out), an incoming W3C traceparent header parents
+// the server-side http.request span — and everything under it: the
+// engine.solve root, the core solver stages, checking — to the
+// caller's span, and the response traceparent header carries the
+// server span back.
 //
 // Per-request query parameters on /solve and /solve/batch:
 //
@@ -46,6 +57,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -75,6 +87,7 @@ type server struct {
 	eng      *engine.Engine
 	backend  string        // default backend for requests that name none
 	deadline time.Duration // default per-request deadline, 0 = none
+	log      *slog.Logger  // JSON access/lifecycle logs; nil = discard
 }
 
 // run is the testable body of the command. ready, when non-nil,
@@ -88,6 +101,8 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		workers  = fs.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
 		queue    = fs.Int("queue", 0, "solve queue depth before 429s (0 = 2x workers)")
 		deadline = fs.Duration("deadline", 0, "default per-request deadline (0 = none)")
+		history  = fs.Duration("history-interval", 10*time.Second,
+			"metrics-history snapshot interval for /metrics/history (0 disables)")
 	)
 	var common cliutil.Common
 	common.AddFlags(fs)
@@ -103,8 +118,12 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	}
 	defer shutdown()
 	// A serving process always meters itself: the /metrics endpoint is
-	// part of the API surface, not an opt-in debug flag.
+	// part of the API surface, not an opt-in debug flag. Same for the
+	// metrics history behind /metrics/history.
 	telemetry.Enable()
+	if *history > 0 {
+		telemetry.Default.StartHistory(telemetry.HistoryOptions{Interval: *history})
+	}
 
 	if _, ok := engine.Lookup(*backend); !ok {
 		return fmt.Errorf("unknown default backend %q", *backend)
@@ -116,7 +135,8 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		Check:      common.Check,
 	})
 	defer eng.Close()
-	srv := &server{eng: eng, backend: *backend, deadline: *deadline}
+	log := slog.New(slog.NewJSONHandler(stderr, nil))
+	srv := &server{eng: eng, backend: *backend, deadline: *deadline, log: log}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -149,8 +169,10 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	}
 }
 
-// mux wires the handlers; split out so tests can drive the server
-// through httptest without a listener or signals.
+// mux wires the handlers behind the observability middleware (request
+// IDs, traceparent propagation, http.request spans, JSON access logs);
+// split out so tests can drive the server through httptest without a
+// listener or signals.
 func (s *server) mux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
@@ -163,7 +185,11 @@ func (s *server) mux() http.Handler {
 	// index; mounting it at / keeps this binary's exposition identical
 	// to every other binary's -metrics-addr endpoint.
 	mux.Handle("/", telemetry.Handler(telemetry.Default))
-	return mux
+	log := s.log
+	if log == nil {
+		log = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	return withObservability(log, mux)
 }
 
 // reqParams decodes the shared query parameters into an engine request.

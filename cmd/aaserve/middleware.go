@@ -1,0 +1,114 @@
+package main
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"aa/internal/telemetry"
+)
+
+// HTTP observability for aaserve: every request gets a request ID and
+// an http.request trace span, and emits one structured JSON access-log
+// line. Distributed-trace context crosses the wire as the W3C
+// traceparent header — an incoming header makes the http.request span
+// (and everything under it: engine.solve, the core.* stages) a child
+// of the caller's span, and the response carries the server-side span
+// back so callers can link their records too.
+
+// Request/response header names.
+const (
+	headerTraceparent = "traceparent"
+	headerRequestID   = "X-Request-ID"
+)
+
+// statusWriter captures the status code and body size the handler
+// produced, for the access log and the http.request span.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// Flush forwards http.Flusher so streaming responses keep working
+// through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withObservability wraps next with request IDs, traceparent
+// extraction/injection, the http.request span and the access log.
+func withObservability(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+
+		// Honor a caller-supplied request ID (so log lines correlate
+		// across services); mint one otherwise.
+		reqID := r.Header.Get(headerRequestID)
+		if reqID == "" {
+			reqID = telemetry.NewSpanID().String()
+		}
+		w.Header().Set(headerRequestID, reqID)
+
+		ctx := r.Context()
+		var span telemetry.Span
+		traced := telemetry.TraceEnabled()
+		if traced {
+			if sc, err := telemetry.ParseTraceparent(r.Header.Get(headerTraceparent)); err == nil {
+				// The remote caller's span becomes the parent; a missing or
+				// malformed header falls through to the process default.
+				ctx = telemetry.ContextWithSpan(ctx, sc)
+			}
+			ctx, span = telemetry.StartSpanCtx(ctx, "http.request",
+				telemetry.String("method", r.Method),
+				telemetry.String("path", r.URL.Path),
+				telemetry.String("request_id", reqID))
+			w.Header().Set(headerTraceparent, span.Context().Traceparent())
+		}
+
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+
+		if traced {
+			span.AddAttrs(telemetry.Int("status", sw.status), telemetry.Int("bytes", sw.bytes))
+			span.End()
+		}
+		attrs := []slog.Attr{
+			slog.String("request_id", reqID),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Int("bytes", sw.bytes),
+			slog.Duration("duration", elapsed),
+			slog.String("remote", r.RemoteAddr),
+		}
+		if sc := span.Context(); sc.Valid() {
+			attrs = append(attrs,
+				slog.String("trace_id", sc.TraceID.String()),
+				slog.String("span_id", sc.SpanID.String()))
+		}
+		log.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
+	})
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"aa/internal/replay"
+)
+
+// traceRecord is the slice of the trace JSONL schema this test asserts on.
+type traceRecord struct {
+	Type   string `json:"type"`
+	Name   string `json:"name"`
+	Trace  string `json:"trace_id"`
+	Span   string `json:"span_id"`
+	Parent string `json:"parent_id"`
+}
+
+// TestReplayAgainstLiveServerJoinsTraces is the PR's acceptance test:
+// a replay in -addr mode against a live aaserve produces ONE connected
+// span tree that crosses the HTTP boundary — client event span →
+// http.request → engine.solve → engine.dispatch → core stages — all
+// sharing a single trace ID, with every parent resolving inside the
+// trace file.
+func TestReplayAgainstLiveServerJoinsTraces(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "trace.jsonl")
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-trace-out", traceFile,
+			"-history-interval", "0",
+		}, testWriter{t}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	// A tiny full-resolve scenario: a handful of arrivals, each of which
+	// drives one /solve round trip over the real listener.
+	sc := &replay.Scenario{
+		Name: "trace-accept", Servers: 2, Capacity: 100, Horizon: 200,
+		Policy:   "full-resolve",
+		Utility:  replay.UtilitySpec{Dist: "uniform"},
+		Arrivals: replay.ArrivalSpec{BaseRate: 0.05},
+		Lifetime: replay.LifetimeSpec{Mean: 150},
+	}
+	rep, err := replay.Run(sc, replay.RunOptions{Seed: 11, Addr: addr})
+	if err != nil {
+		t.Fatalf("replay against live server: %v", err)
+	}
+	if rep.Solves.Resolves == 0 {
+		t.Fatal("replay issued no solves; scenario too small to exercise tracing")
+	}
+
+	// Drain the server; run()'s shutdown path must flush and detach the
+	// trace sink before returning, so the file is complete afterwards.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []traceRecord
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec traceRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line not valid JSON (truncated final record?): %v\n%s", err, line)
+		}
+		recs = append(recs, rec)
+	}
+
+	byID := map[string]traceRecord{}
+	byName := map[string][]traceRecord{}
+	for _, r := range recs {
+		if r.Type != "span" {
+			continue
+		}
+		byID[r.Span] = r
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	for _, name := range []string{
+		"process", "replay.run", "replay.event",
+		"http.request", "engine.solve", "engine.dispatch",
+	} {
+		if len(byName[name]) == 0 {
+			t.Fatalf("no %s span in trace file; spans present: %v", name, spanNames(byName))
+		}
+	}
+	if len(byName["core.superopt"]) == 0 && len(byName["core.assign1"]) == 0 &&
+		len(byName["core.assign2"]) == 0 {
+		t.Fatalf("no core stage spans; spans present: %v", spanNames(byName))
+	}
+
+	// One connected tree: everything shares the process root's trace and
+	// every parent pointer resolves to a span in the same file.
+	proc := byName["process"][0]
+	if proc.Parent != "" {
+		t.Errorf("process span has parent %q, want root", proc.Parent)
+	}
+	for _, r := range recs {
+		if r.Type != "span" {
+			continue
+		}
+		if r.Trace != proc.Trace {
+			t.Errorf("span %s trace %q, want the process trace %q", r.Name, r.Trace, proc.Trace)
+		}
+		if r.Parent == "" && r.Span != proc.Span {
+			t.Errorf("span %s is an unexpected second root", r.Name)
+		}
+		if r.Parent != "" {
+			if _, ok := byID[r.Parent]; !ok {
+				t.Errorf("span %s parent %q not in the file", r.Name, r.Parent)
+			}
+		}
+	}
+
+	// The cross-boundary chain: every http.request hangs off a
+	// replay.event (the traceparent header crossed the wire), every
+	// engine.solve hangs off an http.request, and so on up the tree.
+	wantParent := map[string]string{
+		"replay.run":      "process",
+		"replay.event":    "replay.run",
+		"http.request":    "replay.event",
+		"engine.solve":    "http.request",
+		"engine.dispatch": "engine.solve",
+	}
+	for name, parentName := range wantParent {
+		for _, r := range byName[name] {
+			p, ok := byID[r.Parent]
+			if !ok {
+				t.Errorf("%s parent %q unresolved", name, r.Parent)
+				continue
+			}
+			if p.Name != parentName {
+				t.Errorf("%s parented to %q, want %q", name, p.Name, parentName)
+			}
+		}
+	}
+
+	// Core solver stages run on both sides of the wire: the server's
+	// solves nest them under engine.dispatch, while the replay client's
+	// local bound computations fall back to the process parent. The
+	// server-side nesting is the cross-process contract — require it.
+	dispatched := 0
+	for name, rs := range byName {
+		if !strings.HasPrefix(name, "core.") {
+			continue
+		}
+		for _, r := range rs {
+			p, ok := byID[r.Parent]
+			if !ok {
+				t.Errorf("%s parent %q unresolved", name, r.Parent)
+				continue
+			}
+			switch p.Name {
+			case "engine.dispatch":
+				dispatched++
+			case "process":
+				// client-side bound computation; linked, just shallower
+			default:
+				t.Errorf("%s parented to %q, want engine.dispatch or process", name, p.Name)
+			}
+		}
+	}
+	if dispatched == 0 {
+		t.Error("no core stage span nested under engine.dispatch")
+	}
+}
+
+func spanNames(byName map[string][]traceRecord) []string {
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,5 +1,7 @@
 package core
 
+import "aa/internal/telemetry"
+
 // Assign1 is the paper's Algorithm 1: the greedy on the linearized
 // problem, achieving total utility at least α = 2(√2−1) ≈ 0.828 times
 // optimal (Theorem V.16).
@@ -134,7 +136,7 @@ func Assign1LinearizedRef(in *Instance, gs []Linearized) Assignment {
 		metricAssign1Passes.Add(uint64(n))
 		metricAssign1FitChecks.Add(fitChecks)
 		metricAssign1ServerOps.Add(serverOps)
-		stageEnd(start, metricAssign1Seconds, "core.assign1", n)
+		stageEnd(start, metricAssign1Seconds, "core.assign1", telemetry.SpanContext{}, n)
 	}
 	return out
 }

@@ -112,7 +112,7 @@ func (w *Workspace) assign2(in *Instance, gs []Linearized, tailOrder TailOrder, 
 		metricAssign2SortCmps.Add(sortCmps)
 		// n updateTop calls plus every sift-down swap they performed.
 		metricAssign2HeapOps.Add(uint64(n) + uint64(h.swaps))
-		stageEnd(start, metricAssign2Seconds, "core.assign2", n)
+		stageEnd(start, metricAssign2Seconds, "core.assign2", w.span, n)
 	}
 }
 

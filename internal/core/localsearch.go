@@ -2,6 +2,7 @@ package core
 
 import (
 	"aa/internal/alloc"
+	"aa/internal/telemetry"
 	"aa/internal/utility"
 )
 
@@ -178,7 +179,7 @@ func Improve(in *Instance, a Assignment, maxMoves int) (Assignment, int) {
 	}
 	if !start.IsZero() {
 		metricLocalSearchMoves.Add(uint64(moves))
-		stageEnd(start, metricLocalSearchSeconds, "core.localsearch", n)
+		stageEnd(start, metricLocalSearchSeconds, "core.localsearch", telemetry.SpanContext{}, n)
 	}
 	return out, moves
 }

@@ -65,12 +65,16 @@ func stageStart() time.Time {
 	return time.Time{}
 }
 
-func stageEnd(start time.Time, h *telemetry.Histogram, span string, n int) {
+// stageEnd flushes the latency histogram and, when tracing is on, a
+// span parented to parent — the request span the engine planted in the
+// workspace (SetSpanContext), or the zero SpanContext at package-level
+// entry points, which falls back to the process-wide parent.
+func stageEnd(start time.Time, h *telemetry.Histogram, span string, parent telemetry.SpanContext, n int) {
 	if start.IsZero() {
 		return
 	}
 	h.Observe(time.Since(start).Seconds())
 	if telemetry.TraceEnabled() {
-		telemetry.EmitSpan(span, start, telemetry.Int("n", n))
+		telemetry.EmitSpanIn(parent, span, start, telemetry.Int("n", n))
 	}
 }

@@ -38,7 +38,7 @@ func SuperOptimal(in *Instance) SuperOpt {
 	if !start.IsZero() {
 		metricSuperOptCalls.Inc()
 		metricBisectIters.Add(uint64(res.Iterations))
-		stageEnd(start, metricSuperOptSeconds, "core.superopt", in.N())
+		stageEnd(start, metricSuperOptSeconds, "core.superopt", telemetry.SpanContext{}, in.N())
 	}
 	return so
 }

@@ -37,7 +37,17 @@ type Workspace struct {
 	a1servers []serverEntry
 	full      []threadItem
 	partial   []threadItem
+
+	// span is the request span the solver stages parent their trace
+	// spans to (SetSpanContext); zero means "use the process default".
+	span telemetry.SpanContext
 }
+
+// SetSpanContext plants the enclosing request's span context so the
+// solver-stage spans of subsequent calls (SuperOptimal, Assign*,
+// assign2) become its children. The engine sets it per solve; the zero
+// SpanContext restores the default parenting.
+func (w *Workspace) SetSpanContext(sc telemetry.SpanContext) { w.span = sc }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use.
 func NewWorkspace() *Workspace { return &Workspace{} }
@@ -54,6 +64,7 @@ func PutWorkspace(w *Workspace) {
 	for i := range w.capped {
 		w.capped[i].f = nil
 	}
+	w.span = telemetry.SpanContext{} // don't leak a request's span to the next borrower
 	workspacePool.Put(w)
 }
 
@@ -82,7 +93,7 @@ func (w *Workspace) capFuncs(in *Instance) []utility.Func {
 // superOptimalWith is the shared super-optimal implementation: both the
 // allocating package-level SuperOptimal and the buffer-reusing Workspace
 // method funnel here, so their numerics are identical by construction.
-func superOptimalWith(in *Instance, fs []utility.Func, allocDst, valueDst []float64) SuperOpt {
+func superOptimalWith(in *Instance, fs []utility.Func, allocDst, valueDst []float64, parent telemetry.SpanContext) SuperOpt {
 	start := stageStart()
 	budget := float64(in.M) * in.C
 	res := alloc.ConcaveInto(allocDst, fs, budget)
@@ -99,7 +110,7 @@ func superOptimalWith(in *Instance, fs []utility.Func, allocDst, valueDst []floa
 	if !start.IsZero() {
 		metricSuperOptCalls.Inc()
 		metricBisectIters.Add(uint64(res.Iterations))
-		stageEnd(start, metricSuperOptSeconds, "core.superopt", in.N())
+		stageEnd(start, metricSuperOptSeconds, "core.superopt", parent, in.N())
 	}
 	return so
 }
@@ -107,7 +118,7 @@ func superOptimalWith(in *Instance, fs []utility.Func, allocDst, valueDst []floa
 // SuperOptimal is the workspace variant of the package-level SuperOptimal;
 // the returned SuperOpt aliases workspace buffers.
 func (w *Workspace) SuperOptimal(in *Instance) SuperOpt {
-	so := superOptimalWith(in, w.capFuncs(in), w.soAlloc, w.soValue)
+	so := superOptimalWith(in, w.capFuncs(in), w.soAlloc, w.soValue, w.span)
 	w.soAlloc, w.soValue = so.Alloc, so.Value
 	return so
 }
@@ -310,7 +321,7 @@ func (w *Workspace) Assign1Linearized(in *Instance, gs []Linearized, out *Assign
 		metricAssign1Passes.Add(uint64(n))
 		metricAssign1FitChecks.Add(fitChecks)
 		metricAssign1ServerOps.Add(serverOps)
-		stageEnd(start, metricAssign1Seconds, "core.assign1", n)
+		stageEnd(start, metricAssign1Seconds, "core.assign1", w.span, n)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"aa/internal/core"
 	"aa/internal/rng"
+	"aa/internal/telemetry"
 )
 
 // ErrBadRequest is wrapped by backend errors caused by a malformed
@@ -101,6 +102,11 @@ func solveLinearized(ctx ctxT, req *Request, resp *Response, algo1 bool) error {
 	}
 	w := core.GetWorkspace()
 	defer core.PutWorkspace(w)
+	if telemetry.TraceEnabled() {
+		// Parent the core.superopt/core.assign* stage spans to this
+		// request (the engine.dispatch span carried by ctx).
+		w.SetSpanContext(telemetry.SpanFromContext(ctx))
+	}
 	so := w.SuperOptimal(in)
 	if err := ctx.Err(); err != nil {
 		return err

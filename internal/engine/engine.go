@@ -17,8 +17,9 @@
 //
 //   - A middleware chain (Handler/Middleware) composed once at Engine
 //     construction, outermost first: telemetry (aa_engine_* counters,
-//     latency histogram, engine.solve trace spans — skipped entirely
-//     when telemetry is off), cancellation (fail fast on a dead
+//     latency histogram, and the per-request engine.solve root span
+//     with engine.dispatch / core.* / engine.check children — skipped
+//     entirely when telemetry is off), cancellation (fail fast on a dead
 //     context; backends also check ctx between stages), any
 //     caller-supplied middleware, then post-solve checking
 //     (check.Feasible plus the ratio report against F̂ — α for
@@ -46,6 +47,7 @@ import (
 
 	"aa/internal/core"
 	"aa/internal/solverpool"
+	"aa/internal/telemetry"
 )
 
 // ErrQueueFull is the backpressure signal from Submit, re-exported from
@@ -207,9 +209,17 @@ func New(opts Options) *Engine {
 }
 
 // dispatch is the innermost handler: hand the request to its resolved
-// backend.
+// backend, under an engine.dispatch child span when tracing is on so
+// the trace separates queueing/checking overhead from backend time.
 func dispatch(ctx context.Context, req *Request, resp *Response) error {
-	return req.bk.Handle(ctx, req, resp)
+	if !telemetry.TraceEnabled() {
+		return req.bk.Handle(ctx, req, resp)
+	}
+	ctx, span := telemetry.StartSpanCtx(ctx, "engine.dispatch", telemetry.String("backend", req.bk.Name))
+	err := req.bk.Handle(ctx, req, resp)
+	span.AddAttrs(telemetry.Bool("ok", err == nil))
+	span.End()
+	return err
 }
 
 // SolveInto runs one request through the pipeline on the caller's

@@ -18,9 +18,12 @@ var engineSolveLat = telemetry.Default.Histogram("aa_engine_solve_latency_second
 
 // withTelemetry is the outermost layer: it counts every request —
 // including ones that die on cancellation before dispatch — into the
-// resolved backend's aa_engine_requests_total / failures counters,
-// observes end-to-end latency, and emits an engine.solve trace span
-// when tracing is on.
+// resolved backend's aa_engine_requests_total / failures counters and
+// observes end-to-end latency. When tracing is on it opens the
+// engine.solve root span for the request — a child of whatever span the
+// incoming ctx carries (the HTTP span in aaserve, the replay event
+// span, the CLI process root) — and re-wraps ctx so every inner layer
+// (dispatch, the solver stages, checking) parents under it.
 func withTelemetry(next Handler) Handler {
 	return func(ctx context.Context, req *Request, resp *Response) error {
 		if !telemetry.Enabled() {
@@ -29,25 +32,28 @@ func withTelemetry(next Handler) Handler {
 		bk := req.bk
 		bk.requests.Inc()
 		start := time.Now()
+		var span telemetry.Span
+		if telemetry.TraceEnabled() {
+			attrs := make([]telemetry.Attr, 0, 5)
+			attrs = append(attrs, telemetry.String("backend", bk.Name))
+			if in := req.Instance; in != nil {
+				attrs = append(attrs, telemetry.Int("n", in.N()), telemetry.Int("m", in.M))
+			}
+			if req.Seed != 0 {
+				attrs = append(attrs, telemetry.Uint64("seed", req.Seed))
+			}
+			attrs = append(attrs, telemetry.Bool("check", req.Check))
+			ctx, span = telemetry.StartSpanCtx(ctx, "engine.solve", attrs...)
+		}
 		err := next(ctx, req, resp)
 		engineSolveLat.Observe(time.Since(start).Seconds())
-		if telemetry.TraceEnabled() {
-			telemetry.EmitSpan("engine.solve", start,
-				telemetry.String("backend", bk.Name),
-				telemetry.String("ok", boolStr(err == nil)))
-		}
+		span.AddAttrs(telemetry.Bool("ok", err == nil))
+		span.End()
 		if err != nil {
 			bk.failures.Inc()
 		}
 		return err
 	}
-}
-
-func boolStr(b bool) string {
-	if b {
-		return "true"
-	}
-	return "false"
 }
 
 // withCancel fails a request whose context is already dead before any
@@ -76,7 +82,14 @@ func withCheck(force bool) Middleware {
 			if err != nil || !(force || req.Check || check.Enabled()) {
 				return err
 			}
-			return verify(req, resp)
+			if !telemetry.TraceEnabled() {
+				return verify(req, resp)
+			}
+			_, span := telemetry.StartSpanCtx(ctx, "engine.check")
+			verr := verify(req, resp)
+			span.AddAttrs(telemetry.Bool("ok", verr == nil))
+			span.End()
+			return verr
 		}
 	}
 }

@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"aa/internal/telemetry"
+)
+
+// traceRecord is the slice of the JSONL schema these tests assert on.
+type traceRecord struct {
+	Type   string         `json:"type"`
+	Name   string         `json:"name"`
+	Trace  string         `json:"trace_id"`
+	Span   string         `json:"span_id"`
+	Parent string         `json:"parent_id"`
+	Attrs  map[string]any `json:"attrs"`
+}
+
+func decodeTrace(t *testing.T, buf *bytes.Buffer) []traceRecord {
+	t.Helper()
+	var out []traceRecord
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec traceRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line not JSON: %v\n%s", err, line)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// TestSolveEmitsConnectedSpanTree pins the tentpole contract at the
+// engine layer: one solve with tracing on produces a single connected
+// tree — engine.solve root, engine.dispatch and engine.check children,
+// core solver stages under dispatch — all sharing one trace ID.
+func TestSolveEmitsConnectedSpanTree(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	var buf bytes.Buffer
+	telemetry.SetTraceWriter(&buf)
+	defer telemetry.SetTraceWriter(nil)
+
+	eng := New(Options{})
+	in := corpus(t, 1, 40)[0]
+	req := &Request{Instance: in, Check: true}
+	if _, err := eng.Solve(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := decodeTrace(t, &buf)
+	byName := map[string]traceRecord{}
+	byID := map[string]traceRecord{}
+	for _, r := range recs {
+		if r.Type != "span" {
+			continue
+		}
+		byName[r.Name] = r
+		byID[r.Span] = r
+	}
+
+	root, ok := byName["engine.solve"]
+	if !ok {
+		t.Fatalf("no engine.solve span in:\n%s", buf.String())
+	}
+	if root.Parent != "" {
+		t.Errorf("engine.solve has parent %q, want a fresh root", root.Parent)
+	}
+	if root.Attrs["backend"] != "assign2" || root.Attrs["n"].(float64) != 40 ||
+		root.Attrs["check"] != true || root.Attrs["ok"] != true {
+		t.Errorf("engine.solve attrs = %v", root.Attrs)
+	}
+	if _, hasM := root.Attrs["m"]; !hasM {
+		t.Errorf("engine.solve missing m attr: %v", root.Attrs)
+	}
+
+	dispatch, ok := byName["engine.dispatch"]
+	if !ok {
+		t.Fatal("no engine.dispatch span")
+	}
+	if dispatch.Parent != root.Span {
+		t.Errorf("engine.dispatch parent = %q, want engine.solve %q", dispatch.Parent, root.Span)
+	}
+	checkSpan, ok := byName["engine.check"]
+	if !ok {
+		t.Fatal("no engine.check span")
+	}
+	if checkSpan.Parent != root.Span {
+		t.Errorf("engine.check parent = %q, want engine.solve %q", checkSpan.Parent, root.Span)
+	}
+	for _, stage := range []string{"core.superopt", "core.assign2"} {
+		sp, ok := byName[stage]
+		if !ok {
+			t.Fatalf("no %s span", stage)
+		}
+		if sp.Parent != dispatch.Span {
+			t.Errorf("%s parent = %q, want engine.dispatch %q", stage, sp.Parent, dispatch.Span)
+		}
+	}
+
+	// Every span shares the root's trace and every parent resolves.
+	for _, r := range recs {
+		if r.Type != "span" {
+			continue
+		}
+		if r.Trace != root.Trace {
+			t.Errorf("span %s trace %q, want %q", r.Name, r.Trace, root.Trace)
+		}
+		if r.Parent != "" {
+			if _, ok := byID[r.Parent]; !ok {
+				t.Errorf("span %s parent %q not in the file", r.Name, r.Parent)
+			}
+		}
+	}
+}
+
+// TestSolveInheritsCallerSpan pins context propagation: a caller that
+// carries a span (an HTTP middleware, a replay event) becomes the
+// parent of the engine.solve root, joining the caller's trace.
+func TestSolveInheritsCallerSpan(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	var buf bytes.Buffer
+	telemetry.SetTraceWriter(&buf)
+	defer telemetry.SetTraceWriter(nil)
+
+	eng := New(Options{})
+	in := corpus(t, 1, 20)[0]
+
+	ctx, caller := telemetry.StartSpanCtx(context.Background(), "caller.request")
+	if _, err := eng.Solve(ctx, &Request{Instance: in}); err != nil {
+		t.Fatal(err)
+	}
+	caller.End()
+
+	recs := decodeTrace(t, &buf)
+	byName := map[string]traceRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	callerRec, root := byName["caller.request"], byName["engine.solve"]
+	if root.Parent != callerRec.Span {
+		t.Errorf("engine.solve parent = %q, want caller span %q", root.Parent, callerRec.Span)
+	}
+	if root.Trace != callerRec.Trace {
+		t.Errorf("engine.solve trace = %q, want caller trace %q", root.Trace, callerRec.Trace)
+	}
+}
+
+// TestSubmitPropagatesSpanAcrossPool pins that the span context crosses
+// the solver pool: a Submit from a traced caller still parents the
+// engine.solve span to the caller even though a worker goroutine runs
+// the solve.
+func TestSubmitPropagatesSpanAcrossPool(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	var buf bytes.Buffer
+	telemetry.SetTraceWriter(&buf)
+	defer telemetry.SetTraceWriter(nil)
+
+	eng := New(Options{})
+	defer eng.Close()
+	in := corpus(t, 1, 20)[0]
+
+	ctx, caller := telemetry.StartSpanCtx(context.Background(), "caller.submit")
+	if _, err := eng.Submit(ctx, &Request{Instance: in}); err != nil {
+		t.Fatal(err)
+	}
+	caller.End()
+
+	recs := decodeTrace(t, &buf)
+	byName := map[string]traceRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if got, want := byName["engine.solve"].Parent, byName["caller.submit"].Span; got != want {
+		t.Errorf("engine.solve parent = %q, want submitting span %q", got, want)
+	}
+}

@@ -90,13 +90,19 @@ func Run(sc *Scenario, opts RunOptions) (*Report, error) {
 		tstats = statsOf(events, sc.Horizon)
 	}
 
+	span := telemetry.StartSpan("replay.run",
+		telemetry.String("scenario", sc.Name), telemetry.Int("events", tstats.Events))
+	defer span.End()
+
 	obs := &solveObserver{}
 	var policy online.Policy
 	if opts.Addr != "" {
 		if sc.policyName() != "full-resolve" {
 			return nil, fmt.Errorf("replay: remote replay (-addr) supports only the full-resolve policy, scenario wants %q", sc.policyName())
 		}
-		policy = &httpResolve{addr: opts.Addr, obs: obs}
+		// The run span parents the per-event replay.event spans, whose
+		// traceparent headers link the remote aaserve spans in turn.
+		policy = &httpResolve{addr: opts.Addr, obs: obs, parent: span.Context()}
 	} else {
 		eng := engine.New(engine.Options{Middleware: []engine.Middleware{obs.middleware()}})
 		defer eng.Close()
@@ -115,10 +121,6 @@ func Run(sc *Scenario, opts RunOptions) (*Report, error) {
 			return nil, fmt.Errorf("replay: unknown policy %q", sc.policyName())
 		}
 	}
-
-	span := telemetry.StartSpan("replay.run",
-		telemetry.String("scenario", sc.Name), telemetry.Int("events", tstats.Events))
-	defer span.End()
 
 	acc := newAccumulator(sc, obs)
 	wallStart := time.Now()
@@ -360,10 +362,14 @@ func sortInts(xs []int) {
 // httpResolve is the remote full-resolve policy: every event snapshots
 // the active set over the up servers, POSTs it to a live aaserve
 // /solve endpoint, and applies the returned assignment. The wire round
-// trip is the measured solve latency.
+// trip is the measured solve latency. With tracing on, every event
+// solve runs under its own replay.event span (child of the replay.run
+// span) whose context crosses to the server as the traceparent header,
+// so the client-side trace and the aaserve trace join into one tree.
 type httpResolve struct {
 	addr   string
 	obs    *solveObserver
+	parent telemetry.SpanContext
 	client http.Client
 }
 
@@ -400,8 +406,22 @@ func (p *httpResolve) React(s *online.State, ev online.Event) []int {
 	if err := instio.Encode(&buf, &in); err != nil {
 		return nil
 	}
+	var span telemetry.Span
+	if telemetry.TraceEnabled() {
+		span = telemetry.StartSpanIn(p.parent, "replay.event",
+			telemetry.Int("n", len(ids)), telemetry.Int("m", len(up)))
+		defer span.End()
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, "http://"+p.addr+"/solve", &buf)
+	if err != nil {
+		return nil
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if tp := span.Context().Traceparent(); tp != "" {
+		httpReq.Header.Set("traceparent", tp)
+	}
 	start := time.Now()
-	resp, err := p.client.Post("http://"+p.addr+"/solve", "application/json", &buf)
+	resp, err := p.client.Do(httpReq)
 	if err != nil {
 		return nil
 	}

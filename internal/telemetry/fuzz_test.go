@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTraceparent hammers the header parser with malformed inputs. The
+// invariants: never panic, never return an invalid SpanContext without
+// an error, and every accepted version-00 input must survive a
+// re-encode → re-parse round trip.
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("")
+	f.Add("garbage")
+	f.Add(strings.Repeat("-", 55))
+	f.Add("00-ZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZ-00f067aa0ba902b7-01")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		sc, err := ParseTraceparent(s)
+		if err != nil {
+			if sc != (SpanContext{}) {
+				t.Fatalf("error with non-zero context: %+v", sc)
+			}
+			return
+		}
+		if !sc.Valid() {
+			t.Fatalf("accepted %q but context invalid: %+v", s, sc)
+		}
+		tp := sc.Traceparent()
+		back, err := ParseTraceparent(tp)
+		if err != nil {
+			t.Fatalf("re-parse of own encoding %q failed: %v", tp, err)
+		}
+		if back != sc {
+			t.Fatalf("round trip changed context: %+v != %+v", back, sc)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bufio"
 	"expvar"
 	"fmt"
 	"net"
@@ -17,11 +18,12 @@ var publishOnce sync.Once
 
 // Handler returns an http.Handler exposing the registry three ways:
 //
-//	/metrics      Prometheus text exposition format
-//	/vars         expvar-style JSON of the registry
-//	/debug/vars   standard expvar (cmdline, memstats, plus the registry
-//	              under "aa_metrics" when reg is Default)
-//	/debug/pprof  the full net/http/pprof suite
+//	/metrics          Prometheus text exposition format
+//	/metrics/history  JSON ring of periodic snapshots (StartHistory)
+//	/vars             expvar-style JSON of the registry
+//	/debug/vars       standard expvar (cmdline, memstats, plus the
+//	                  registry under "aa_metrics" when reg is Default)
+//	/debug/pprof      the full net/http/pprof suite
 //
 // The root path serves a plain index of the endpoints.
 func Handler(reg *Registry) http.Handler {
@@ -41,6 +43,7 @@ func Handler(reg *Registry) http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = reg.WriteJSON(w)
 	})
+	mux.HandleFunc("/metrics/history", historyHandler(reg))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -52,7 +55,7 @@ func Handler(reg *Registry) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "aa telemetry\n\n/metrics\n/vars\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "aa telemetry\n\n/metrics\n/metrics/history\n/vars\n/debug/vars\n/debug/pprof/\n")
 	})
 	return mux
 }
@@ -95,14 +98,15 @@ func (s *Server) Close() error { return s.srv.Close() }
 
 // Setup wires the two CLI observability flags in one call: a non-empty
 // metricsAddr starts a Server for Default, a non-empty tracePath opens
-// (truncates) the JSONL trace file, and either one enables telemetry
-// process-wide. logf, when non-nil, receives one line per activated
-// endpoint (CLIs pass a stderr printf).
+// (truncates) the JSONL trace file behind a bufio.Writer, and either
+// one enables telemetry process-wide. logf, when non-nil, receives one
+// line per activated endpoint (CLIs pass a stderr printf).
 //
-// The returned shutdown func stops the server, detaches and closes the
-// trace file, and reports the file close error — trace data is an
-// artifact, a failed flush must not be dropped silently. shutdown is
-// non-nil even when both flags are empty.
+// The returned shutdown func stops the server, detaches the trace sink
+// (DetachTraceWriter, which waits out in-flight records and flushes the
+// buffer), closes the trace file, and reports the first error — trace
+// data is an artifact, a failed flush must not be dropped silently.
+// shutdown is non-nil even when both flags are empty.
 func Setup(metricsAddr, tracePath string, logf func(format string, args ...any)) (shutdown func() error, err error) {
 	var srv *Server
 	var traceFile *os.File
@@ -125,7 +129,7 @@ func Setup(metricsAddr, tracePath string, logf func(format string, args ...any))
 			return nil, fmt.Errorf("telemetry: trace output: %w", err)
 		}
 		Enable()
-		SetTraceWriter(traceFile)
+		SetTraceWriter(bufio.NewWriter(traceFile))
 		if logf != nil {
 			logf("telemetry: writing trace events to %s\n", tracePath)
 		}
@@ -134,9 +138,15 @@ func Setup(metricsAddr, tracePath string, logf func(format string, args ...any))
 		if srv != nil {
 			srv.Close()
 		}
-		if traceFile != nil {
-			SetTraceWriter(nil)
-			return traceFile.Close()
+		if traceFile == nil {
+			return nil
+		}
+		err := DetachTraceWriter()
+		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("telemetry: trace output: %w", err)
 		}
 		return nil
 	}, nil

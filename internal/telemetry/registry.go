@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // kind discriminates registry entries.
@@ -60,6 +61,10 @@ type Registry struct {
 	mu     sync.Mutex
 	order  []*entry
 	byName map[string]*entry
+
+	// history is the optional snapshot ring started by StartHistory,
+	// read by the /metrics/history handler.
+	history atomic.Pointer[History]
 }
 
 // Default is the process-wide registry used by the instrumented

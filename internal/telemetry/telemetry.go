@@ -22,7 +22,18 @@
 //
 //   - Two export formats. Registry.WritePrometheus emits the Prometheus
 //     text exposition format; Registry.WriteJSON emits an expvar-style
-//     JSON object. Handler serves both over HTTP next to net/http/pprof.
+//     JSON object. Handler serves both over HTTP next to net/http/pprof,
+//     plus the bounded snapshot ring behind /metrics/history (see
+//     Registry.StartHistory).
+//
+//   - Request-scoped tracing. Spans carry trace/span/parent identity,
+//     nest through context.Context (StartSpanCtx/SpanFromContext), link
+//     under a process-wide default parent when no context is at hand
+//     (SetProcessParent), and cross process boundaries as W3C
+//     traceparent headers (SpanContext.Traceparent/ParseTraceparent).
+//     The JSONL sink is detachable (DetachTraceWriter) so a shutdown
+//     flush can never truncate the final record. StartProfiler adds a
+//     continuous CPU+heap pprof capture ring on disk.
 //
 // Metric naming follows the Prometheus convention with the subsystem as
 // prefix: aa_core_* for solver-stage metrics, aa_pool_* for the batch

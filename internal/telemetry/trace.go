@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"sync"
@@ -12,23 +13,74 @@ import (
 // append JSONL records to the writer installed with SetTraceWriter.
 // Writes are serialized by a mutex; with no writer installed, StartSpan
 // and Event are a single atomic pointer load.
+//
+// Span records form trees (schema v2, DESIGN.md §12): every span
+// carries a trace ID, its own span ID and its parent's span ID, so a
+// JSONL file — or several files from different processes joined on
+// trace_id — reconstructs into one request tree. Parents propagate
+// three ways, in priority order: explicitly via context.Context
+// (StartSpanCtx), through the process-wide default parent
+// (SetProcessParent, installed by cliutil for every -trace-out run),
+// or not at all, in which case the span roots a fresh trace.
 
 type traceSink struct {
-	mu  sync.Mutex
-	w   io.Writer
-	enc *json.Encoder
+	mu       sync.Mutex
+	w        io.Writer
+	enc      *json.Encoder
+	detached bool
 }
 
 var sink atomic.Pointer[traceSink]
 
 // SetTraceWriter installs w as the JSONL trace destination (nil
-// removes it). The caller owns w and closes it after removing it here.
+// removes it). The caller owns w and closes it after removing it here;
+// use DetachTraceWriter when w buffers (telemetry.Setup does) so the
+// final records are flushed, never truncated.
 func SetTraceWriter(w io.Writer) {
 	if w == nil {
-		sink.Store(nil)
+		detach()
 		return
 	}
+	detach()
 	sink.Store(&traceSink{w: w, enc: json.NewEncoder(w)})
+}
+
+// detach removes the current sink and waits out any in-flight write,
+// returning the detached sink (nil when none was installed). After
+// detach returns, no further bytes will be written to the old writer:
+// emitters that raced the swap observe the detached flag under the
+// sink mutex and drop their record instead.
+func detach() *traceSink {
+	s := sink.Swap(nil)
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.detached = true
+	s.mu.Unlock()
+	return s
+}
+
+// Flusher is the single-method interface DetachTraceWriter uses to
+// flush buffered trace writers (bufio.Writer satisfies it).
+type Flusher interface {
+	Flush() error
+}
+
+// DetachTraceWriter removes the installed trace writer, waits for any
+// in-flight record to finish, and flushes the writer when it buffers
+// (implements Flusher). It returns the flush error, so a failed final
+// flush — a truncated trace artifact — is never silent. Safe to call
+// with no writer installed.
+func DetachTraceWriter() error {
+	s := detach()
+	if s == nil {
+		return nil
+	}
+	if f, ok := s.w.(Flusher); ok {
+		return f.Flush()
+	}
+	return nil
 }
 
 // TraceEnabled reports whether a trace writer is installed. Hot paths
@@ -47,17 +99,29 @@ func String(k, v string) Attr { return Attr{Key: k, Val: v} }
 // Int builds an integer attribute.
 func Int(k string, v int) Attr { return Attr{Key: k, Val: v} }
 
+// Uint64 builds an unsigned integer attribute (seeds, IDs).
+func Uint64(k string, v uint64) Attr { return Attr{Key: k, Val: v} }
+
 // Float builds a float attribute.
 func Float(k string, v float64) Attr { return Attr{Key: k, Val: v} }
 
-// record is the JSONL schema shared by spans and events. Times are
-// Unix microseconds; Dur is microseconds and present only on spans.
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Val: v} }
+
+// record is the JSONL schema (v2) shared by spans and events. Times
+// are Unix microseconds; Dur is microseconds and present only on
+// spans. Trace/Span/Parent are lowercase hex IDs; Parent is empty on
+// trace roots, and all three are empty only for records emitted before
+// the schema-v2 upgrade.
 type record struct {
-	Type  string         `json:"type"` // "span" or "event"
-	Name  string         `json:"name"`
-	TS    int64          `json:"ts_us"`
-	Dur   float64        `json:"dur_us,omitempty"`
-	Attrs map[string]any `json:"attrs,omitempty"`
+	Type   string         `json:"type"` // "span" or "event"
+	Name   string         `json:"name"`
+	Trace  string         `json:"trace_id,omitempty"`
+	Span   string         `json:"span_id,omitempty"`
+	Parent string         `json:"parent_id,omitempty"`
+	TS     int64          `json:"ts_us"`
+	Dur    float64        `json:"dur_us,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
 }
 
 func emit(rec record) {
@@ -67,6 +131,11 @@ func emit(rec record) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.detached {
+		// Raced DetachTraceWriter: the writer may already be flushed and
+		// closed, so the record is dropped whole rather than truncated.
+		return
+	}
 	// Encode ignores errors deliberately: a full disk must not take the
 	// solver down, and there is no caller to report to mid-solve.
 	_ = s.enc.Encode(rec)
@@ -83,22 +152,86 @@ func attrMap(attrs []Attr) map[string]any {
 	return m
 }
 
-// Span is an in-flight trace span. The zero Span (returned when tracing
-// is off) is inert: End is a no-op.
-type Span struct {
-	name  string
-	start time.Time
-	attrs []Attr
+// spanCtxKey carries a SpanContext in a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying sc; SpanFromContext
+// retrieves it. An invalid sc is carried as-is (and ignored by span
+// creation), so callers need not special-case the zero value.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
 }
 
-// StartSpan opens a span. Callers on hot paths should guard with
-// TraceEnabled() to avoid constructing the attrs slice when tracing is
-// off; StartSpan itself also returns an inert span in that case.
+// SpanFromContext returns the span context carried by ctx, or the zero
+// SpanContext when ctx carries none. It never allocates.
+func SpanFromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc
+}
+
+// Span is an in-flight trace span. The zero Span (returned when tracing
+// is off) is inert: End is a no-op, Context returns the zero context.
+type Span struct {
+	name   string
+	start  time.Time
+	attrs  []Attr
+	sc     SpanContext
+	parent SpanID
+}
+
+// Context returns the span's identity — what a caller propagates to
+// children, injects into a traceparent header, or logs for
+// correlation.
+func (s *Span) Context() SpanContext { return s.sc }
+
+// AddAttrs appends attributes to an in-flight span (results known only
+// at End time: status codes, error flags). No-op on the inert zero
+// span.
+func (s *Span) AddAttrs(attrs ...Attr) {
+	if s.start.IsZero() {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// newSpan builds a live span under parent (with the usual fallback
+// chain); callers have already checked that a sink is installed.
+func newSpan(parent SpanContext, name string, attrs []Attr) Span {
+	sc, pid := childOf(parent)
+	return Span{name: name, start: time.Now(), attrs: attrs, sc: sc, parent: pid}
+}
+
+// StartSpan opens a span parented to the process-wide default parent
+// (or rooting a fresh trace when none is installed). Callers on hot
+// paths should guard with TraceEnabled() to avoid constructing the
+// attrs slice when tracing is off; StartSpan itself also returns an
+// inert span in that case.
 func StartSpan(name string, attrs ...Attr) Span {
 	if sink.Load() == nil {
 		return Span{}
 	}
-	return Span{name: name, start: time.Now(), attrs: attrs}
+	return newSpan(SpanContext{}, name, attrs)
+}
+
+// StartSpanIn opens a span under an explicit parent span context.
+func StartSpanIn(parent SpanContext, name string, attrs ...Attr) Span {
+	if sink.Load() == nil {
+		return Span{}
+	}
+	return newSpan(parent, name, attrs)
+}
+
+// StartSpanCtx opens a span as a child of whatever span ctx carries
+// (falling back to the process parent, then to a fresh root) and
+// returns ctx re-wrapped to carry the new span, so nested calls build
+// the tree automatically. With tracing off it returns ctx unchanged
+// and the inert zero span — no allocation, one atomic load.
+func StartSpanCtx(ctx context.Context, name string, attrs ...Attr) (context.Context, Span) {
+	if sink.Load() == nil {
+		return ctx, Span{}
+	}
+	s := newSpan(SpanFromContext(ctx), name, attrs)
+	return ContextWithSpan(ctx, s.sc), s
 }
 
 // End closes the span and appends its JSONL record.
@@ -107,39 +240,85 @@ func (s Span) End() {
 		return
 	}
 	emit(record{
-		Type:  "span",
-		Name:  s.name,
-		TS:    s.start.UnixMicro(),
-		Dur:   float64(time.Since(s.start).Nanoseconds()) / 1e3,
-		Attrs: attrMap(s.attrs),
+		Type:   "span",
+		Name:   s.name,
+		Trace:  s.sc.TraceID.String(),
+		Span:   s.sc.SpanID.String(),
+		Parent: parentHex(s.parent),
+		TS:     s.start.UnixMicro(),
+		Dur:    float64(time.Since(s.start).Nanoseconds()) / 1e3,
+		Attrs:  attrMap(s.attrs),
 	})
+}
+
+func parentHex(id SpanID) string {
+	if id.IsZero() {
+		return ""
+	}
+	return id.String()
 }
 
 // EmitSpan appends a span record for a region that began at start,
 // for callers that track the start time themselves (the solver stages
-// do, to share one time.Now with their latency histograms).
+// do, to share one time.Now with their latency histograms). The span
+// parents to the process default, like StartSpan.
 func EmitSpan(name string, start time.Time, attrs ...Attr) {
+	EmitSpanIn(SpanContext{}, name, start, attrs...)
+}
+
+// EmitSpanIn is EmitSpan under an explicit parent span context: the
+// solver stages pass the request span planted in their workspace so
+// core.superopt/core.assign* become children of the engine root.
+func EmitSpanIn(parent SpanContext, name string, start time.Time, attrs ...Attr) {
 	if sink.Load() == nil {
 		return
 	}
+	sc, pid := childOf(parent)
 	emit(record{
-		Type:  "span",
-		Name:  name,
-		TS:    start.UnixMicro(),
-		Dur:   float64(time.Since(start).Nanoseconds()) / 1e3,
-		Attrs: attrMap(attrs),
+		Type:   "span",
+		Name:   name,
+		Trace:  sc.TraceID.String(),
+		Span:   sc.SpanID.String(),
+		Parent: parentHex(pid),
+		TS:     start.UnixMicro(),
+		Dur:    float64(time.Since(start).Nanoseconds()) / 1e3,
+		Attrs:  attrMap(attrs),
 	})
 }
 
-// Event appends an instantaneous JSONL event.
+// Event appends an instantaneous JSONL event, tagged with the process
+// default parent's trace/span (when one is installed) so events
+// correlate with the spans around them.
 func Event(name string, attrs ...Attr) {
+	eventIn(ProcessParent(), name, attrs)
+}
+
+// EventCtx appends an instantaneous JSONL event tagged with the span
+// carried by ctx, so the event lands inside the enclosing span.
+func EventCtx(ctx context.Context, name string, attrs ...Attr) {
 	if sink.Load() == nil {
 		return
 	}
-	emit(record{
+	sc := SpanFromContext(ctx)
+	if !sc.Valid() {
+		sc = ProcessParent()
+	}
+	eventIn(sc, name, attrs)
+}
+
+func eventIn(sc SpanContext, name string, attrs []Attr) {
+	if sink.Load() == nil {
+		return
+	}
+	rec := record{
 		Type:  "event",
 		Name:  name,
 		TS:    time.Now().UnixMicro(),
 		Attrs: attrMap(attrs),
-	})
+	}
+	if sc.Valid() {
+		rec.Trace = sc.TraceID.String()
+		rec.Span = sc.SpanID.String()
+	}
+	emit(rec)
 }

@@ -1,0 +1,288 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeRecords parses a JSONL trace buffer into generic records.
+func decodeRecords(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line not JSON: %v\n%s", err, line)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func str(rec map[string]any, key string) string {
+	s, _ := rec[key].(string)
+	return s
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := NewRoot()
+	tp := sc.Traceparent()
+	if len(tp) != 55 {
+		t.Fatalf("traceparent %q: len %d, want 55", tp, len(tp))
+	}
+	back, err := ParseTraceparent(tp)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", tp, err)
+	}
+	if back != sc {
+		t.Fatalf("round trip: got %+v, want %+v", back, sc)
+	}
+	// encode → decode → encode is the identity on the wire form too.
+	if again := back.Traceparent(); again != tp {
+		t.Fatalf("re-encode: got %q, want %q", again, tp)
+	}
+	// The zero context has no wire form.
+	if got := (SpanContext{}).Traceparent(); got != "" {
+		t.Fatalf("zero Traceparent() = %q, want empty", got)
+	}
+}
+
+func TestParseTraceparentAcceptsKnownGood(t *testing.T) {
+	// The example from the W3C spec.
+	const tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	sc, err := ParseTraceparent(tp)
+	if err != nil {
+		t.Fatalf("ParseTraceparent: %v", err)
+	}
+	if sc.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" ||
+		sc.SpanID.String() != "00f067aa0ba902b7" || !sc.Sampled() {
+		t.Fatalf("parsed %+v", sc)
+	}
+	// Forward compatibility: a higher version with trailing fields parses
+	// by its first 55 bytes.
+	future := "01" + tp[2:] + "-extra"
+	if _, err := ParseTraceparent(future); err != nil {
+		t.Fatalf("future version rejected: %v", err)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	good := NewRoot().Traceparent()
+	cases := map[string]string{
+		"empty":           "",
+		"short":           good[:54],
+		"version 00 long": good + "-extra",
+		"future no dash":  "01" + good[2:] + "x",
+		"uppercase":       strings.ToUpper(good),
+		"version ff":      "ff" + good[2:],
+		"bad dash":        good[:2] + "_" + good[3:],
+		"zero trace id":   "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero span id":    "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"non-hex trace":   "00-4bf92f3577b34da6a3ce929d0e0e473z-00f067aa0ba902b7-01",
+		"non-hex flags":   good[:53] + "zz",
+		"non-hex version": "zz" + good[2:],
+		"spaces":          " " + good[1:],
+	}
+	for name, in := range cases {
+		if _, err := ParseTraceparent(in); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted, want error", name, in)
+		}
+	}
+}
+
+func TestNewIDsAreUniqueAndNonzero(t *testing.T) {
+	seen := make(map[SpanID]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewSpanID()
+		if id.IsZero() {
+			t.Fatal("NewSpanID returned zero")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate span ID %v after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+	if NewTraceID().IsZero() {
+		t.Fatal("NewTraceID returned zero")
+	}
+}
+
+func TestSpanTreeLinkage(t *testing.T) {
+	var buf bytes.Buffer
+	SetTraceWriter(&buf)
+	defer SetTraceWriter(nil)
+
+	ctx, root := StartSpanCtx(context.Background(), "root")
+	ctx2, child := StartSpanCtx(ctx, "child")
+	_, grandchild := StartSpanCtx(ctx2, "grandchild")
+	grandchild.End()
+	child.End()
+	root.End()
+
+	recs := decodeRecords(t, &buf)
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	byName := map[string]map[string]any{}
+	for _, r := range recs {
+		byName[str(r, "name")] = r
+	}
+	tid := str(byName["root"], "trace_id")
+	if len(tid) != 32 {
+		t.Fatalf("root trace_id %q, want 32 hex digits", tid)
+	}
+	if str(byName["root"], "parent_id") != "" {
+		t.Errorf("root has parent %q, want none", str(byName["root"], "parent_id"))
+	}
+	for _, name := range []string{"child", "grandchild"} {
+		if got := str(byName[name], "trace_id"); got != tid {
+			t.Errorf("%s trace_id = %q, want %q", name, got, tid)
+		}
+	}
+	if got, want := str(byName["child"], "parent_id"), str(byName["root"], "span_id"); got != want {
+		t.Errorf("child parent_id = %q, want root span %q", got, want)
+	}
+	if got, want := str(byName["grandchild"], "parent_id"), str(byName["child"], "span_id"); got != want {
+		t.Errorf("grandchild parent_id = %q, want child span %q", got, want)
+	}
+}
+
+func TestProcessParentLinksOrphans(t *testing.T) {
+	var buf bytes.Buffer
+	SetTraceWriter(&buf)
+	defer SetTraceWriter(nil)
+
+	proc := StartSpan("process")
+	SetProcessParent(proc.Context())
+	defer SetProcessParent(SpanContext{})
+
+	orphan := StartSpan("solver.stage")
+	orphan.End()
+	Event("pool.reject")
+	SetProcessParent(SpanContext{})
+	fresh := StartSpan("fresh.root")
+	fresh.End()
+	proc.End()
+
+	recs := decodeRecords(t, &buf)
+	byName := map[string]map[string]any{}
+	for _, r := range recs {
+		byName[str(r, "name")] = r
+	}
+	procID := proc.Context()
+	if got := str(byName["solver.stage"], "parent_id"); got != procID.SpanID.String() {
+		t.Errorf("orphan parent_id = %q, want process span %q", got, procID.SpanID.String())
+	}
+	if got := str(byName["solver.stage"], "trace_id"); got != procID.TraceID.String() {
+		t.Errorf("orphan trace_id = %q, want process trace %q", got, procID.TraceID.String())
+	}
+	if got := str(byName["pool.reject"], "trace_id"); got != procID.TraceID.String() {
+		t.Errorf("event trace_id = %q, want process trace %q", got, procID.TraceID.String())
+	}
+	// After clearing the process parent, spans root fresh traces.
+	if got := str(byName["fresh.root"], "parent_id"); got != "" {
+		t.Errorf("fresh root has parent %q after clear", got)
+	}
+	if got := str(byName["fresh.root"], "trace_id"); got == procID.TraceID.String() {
+		t.Error("fresh root reused the old process trace")
+	}
+}
+
+func TestStartSpanCtxDisabledIsInert(t *testing.T) {
+	SetTraceWriter(nil)
+	ctx := context.Background()
+	ctx2, sp := StartSpanCtx(ctx, "off")
+	if ctx2 != ctx {
+		t.Error("StartSpanCtx rewrapped ctx with tracing off")
+	}
+	if sp.Context().Valid() {
+		t.Error("inert span has a valid context")
+	}
+	sp.AddAttrs(Int("n", 1)) // must not panic
+	sp.End()
+	if SpanFromContext(ctx).Valid() {
+		t.Error("empty ctx carries a span")
+	}
+}
+
+func TestEventCtxTagsEnclosingSpan(t *testing.T) {
+	var buf bytes.Buffer
+	SetTraceWriter(&buf)
+	defer SetTraceWriter(nil)
+
+	ctx, sp := StartSpanCtx(context.Background(), "enclosing")
+	EventCtx(ctx, "inner.event")
+	sp.End()
+
+	recs := decodeRecords(t, &buf)
+	byName := map[string]map[string]any{}
+	for _, r := range recs {
+		byName[str(r, "name")] = r
+	}
+	sc := sp.Context()
+	if got := str(byName["inner.event"], "trace_id"); got != sc.TraceID.String() {
+		t.Errorf("event trace_id = %q, want %q", got, sc.TraceID.String())
+	}
+	if got := str(byName["inner.event"], "span_id"); got != sc.SpanID.String() {
+		t.Errorf("event span_id = %q, want enclosing span %q", got, sc.SpanID.String())
+	}
+}
+
+func TestDetachTraceWriterFlushesBuffered(t *testing.T) {
+	var raw bytes.Buffer
+	bw := bufio.NewWriter(&raw)
+	SetTraceWriter(bw)
+
+	sp := StartSpan("buffered.span")
+	sp.End()
+	if err := DetachTraceWriter(); err != nil {
+		t.Fatalf("DetachTraceWriter: %v", err)
+	}
+	if TraceEnabled() {
+		t.Fatal("trace still enabled after detach")
+	}
+	recs := decodeRecords(t, &raw)
+	if len(recs) != 1 || str(recs[0], "name") != "buffered.span" {
+		t.Fatalf("flushed records = %v, want the buffered span", recs)
+	}
+	// Emitting after detach drops whole records — nothing new appears.
+	StartSpan("dropped").End()
+	Event("dropped.event")
+	if got := len(decodeRecords(t, &raw)); got != 1 {
+		t.Fatalf("post-detach emits leaked: %d records", got)
+	}
+	// Detaching with nothing installed is a clean no-op.
+	if err := DetachTraceWriter(); err != nil {
+		t.Fatalf("second DetachTraceWriter: %v", err)
+	}
+}
+
+func TestEmitSpanInLinksParent(t *testing.T) {
+	var buf bytes.Buffer
+	SetTraceWriter(&buf)
+	defer SetTraceWriter(nil)
+
+	parent := StartSpan("request")
+	EmitSpanIn(parent.Context(), "core.stage", parent.start, Int("n", 7))
+	parent.End()
+
+	recs := decodeRecords(t, &buf)
+	byName := map[string]map[string]any{}
+	for _, r := range recs {
+		byName[str(r, "name")] = r
+	}
+	if got, want := str(byName["core.stage"], "parent_id"), parent.Context().SpanID.String(); got != want {
+		t.Errorf("stage parent_id = %q, want %q", got, want)
+	}
+	attrs, _ := byName["core.stage"]["attrs"].(map[string]any)
+	if attrs["n"].(float64) != 7 {
+		t.Errorf("stage attrs = %v", attrs)
+	}
+}

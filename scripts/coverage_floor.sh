@@ -25,6 +25,7 @@ trap cleanup EXIT INT TERM
 FLOORS="
 ./internal/replay 82
 ./internal/online 85
+./internal/telemetry 85
 "
 
 fail=0
