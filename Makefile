@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmtcheck tidy-check race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke serve-smoke trace-smoke replay-smoke cover-floor staticcheck vulncheck bench-json bench-regress ci bench figures examples cover clean
+.PHONY: all build test vet fmtcheck tidy-check race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke serve-smoke cache-smoke trace-smoke replay-smoke cover-floor staticcheck vulncheck bench-json bench-regress ci bench figures examples cover clean
 
 all: build vet fmtcheck test
 
@@ -63,6 +63,12 @@ metrics-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# End-to-end solve-result cache check: aaserve with -cache memory must
+# serve a repeated solve byte-identically with aa_cache_hits_total
+# moved, and ?cache=bypass must solve without touching the cache.
+cache-smoke:
+	./scripts/cache_smoke.sh
+
 # End-to-end tracing check: solve over HTTP with a caller-supplied
 # traceparent, then require a well-formed JSONL trace file whose spans
 # join the caller's trace with every parent resolving.
@@ -75,7 +81,8 @@ trace-smoke:
 replay-smoke:
 	./scripts/replay_smoke.sh
 
-# Statement-coverage floors for internal/replay and internal/online.
+# Statement-coverage floors for internal/replay, internal/online,
+# internal/telemetry and internal/cache.
 cover-floor:
 	./scripts/coverage_floor.sh
 
@@ -111,7 +118,7 @@ bench-regress:
 	./scripts/bench_regress.sh
 
 # Mirror of .github/workflows/ci.yml.
-ci: build vet fmtcheck tidy-check staticcheck vulncheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke bench-regress metrics-smoke serve-smoke trace-smoke replay-smoke cover-floor
+ci: build vet fmtcheck tidy-check staticcheck vulncheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke bench-regress metrics-smoke serve-smoke cache-smoke trace-smoke replay-smoke cover-floor
 
 # One benchmark per paper figure/claim plus micro-benchmarks.
 bench:

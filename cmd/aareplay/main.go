@@ -11,6 +11,8 @@
 //	         [-out report.json] [-csv trajectory.csv] [-canonical]
 //	         [-addr host:port] [-list] [-v] [-check]
 //	         [-metrics-addr host:port] [-trace-out file.jsonl]
+//	         [-cache memory] [-cache-size 1024] [-cache-ttl 0]
+//	         [-cache-warm-k 8]
 //
 // -scenario names a built-in scenario family (see -list) or a JSON
 // scenario file; -trace replays a recorded event trace instead. The
@@ -23,6 +25,12 @@
 // -addr sends every re-solve to a running aaserve instance's /solve
 // endpoint instead of the in-process engine (full-resolve policy
 // only), replaying the trace against the live service.
+//
+// -cache installs the solve-result cache in the in-process engine and
+// adds a "cache" section (hit / warm-start rates) to the report. Leave
+// -cache-ttl at 0 for deterministic reports: with no expiry the cache
+// counters are a pure function of the trace, so the section survives
+// -canonical. Ignored with -addr (caching then happens server-side).
 //
 // The JSON report goes to -out ("-" or empty = stdout); -csv
 // additionally writes the trajectory as CSV for plotting. A one-line
@@ -68,6 +76,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	)
 	var common cliutil.Common
 	common.AddFlags(fs)
+	var cacheFlags cliutil.CacheFlags
+	cacheFlags.AddFlags(fs)
 	if err := cliutil.Parse(fs, args, stderr); err != nil {
 		if errors.Is(err, cliutil.ErrHelp) {
 			return nil
@@ -94,7 +104,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sc.GridPoints = *grid
 	}
 
-	rep, err := replay.Run(sc, replay.RunOptions{Seed: *seed, Addr: *addr, Events: events})
+	solveCache, err := cacheFlags.Build()
+	if err != nil {
+		return err
+	}
+	rep, err := replay.Run(sc, replay.RunOptions{
+		Seed: *seed, Addr: *addr, Events: events,
+		Cache: solveCache, WarmK: cacheFlags.WarmK,
+	})
 	if err != nil {
 		return err
 	}

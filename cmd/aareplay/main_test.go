@@ -190,3 +190,41 @@ func TestHelp(t *testing.T) {
 		t.Error("usage missing -scenario")
 	}
 }
+
+// -cache memory adds a deterministic cache section with warm-start
+// rates to the report (churn scenario: consecutive solves differ by a
+// few threads, the warm-start operating point).
+func TestCacheFlagAddsReportSection(t *testing.T) {
+	args := []string{"-scenario", "churn", "-policy", "full-resolve", "-seed", "3",
+		"-grid", "16", "-canonical", "-cache", "memory", "-cache-warm-k", "8"}
+	var a, b bytes.Buffer
+	if err := run(args, &a, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same-seed cached -canonical runs differ")
+	}
+	var rep struct {
+		Cache *struct {
+			Mode       string  `json:"mode"`
+			Misses     uint64  `json:"misses"`
+			WarmStarts uint64  `json:"warmStarts"`
+			WarmRate   float64 `json:"warmRate"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cache == nil {
+		t.Fatal("-cache memory report has no cache section")
+	}
+	if rep.Cache.Mode != "memory" || rep.Cache.Misses == 0 {
+		t.Fatalf("cache section %+v, want memory mode with misses", rep.Cache)
+	}
+	if rep.Cache.WarmStarts == 0 || rep.Cache.WarmRate <= 0 {
+		t.Fatalf("churn replay reported no warm starts: %+v", rep.Cache)
+	}
+}

@@ -7,6 +7,7 @@
 //	aaserve [-addr localhost:8080] [-backend a2] [-workers 0] [-queue 0]
 //	        [-deadline 0] [-history-interval 10s] [-metrics-addr host:port]
 //	        [-trace-out file.jsonl] [-profile-dir dir] [-check]
+//	        [-cache memory] [-cache-size 1024] [-cache-ttl 0] [-cache-warm-k 8]
 //
 // Endpoints:
 //
@@ -36,6 +37,8 @@
 //	deadline  per-request timeout like "500ms" (default: -deadline)
 //	check     "1" verifies the response through the check middleware
 //	maxnodes  node budget for backend=exact
+//	cache     "bypass" skips the solve-result cache for this request
+//	          (lookup and store; only meaningful with -cache enabled)
 //
 // Responses: 200 with an assignment JSON (server, alloc, utility,
 // superOptimalBound) on success; 400 for malformed instances or unknown
@@ -106,6 +109,8 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	)
 	var common cliutil.Common
 	common.AddFlags(fs)
+	var cacheFlags cliutil.CacheFlags
+	cacheFlags.AddFlags(fs)
 	if err := cliutil.Parse(fs, args, stderr); err != nil {
 		if errors.Is(err, cliutil.ErrHelp) {
 			return nil
@@ -128,11 +133,17 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	if _, ok := engine.Lookup(*backend); !ok {
 		return fmt.Errorf("unknown default backend %q", *backend)
 	}
+	solveCache, err := cacheFlags.Build()
+	if err != nil {
+		return err
+	}
 	eng := engine.New(engine.Options{
 		Backend:    *backend,
 		Workers:    *workers,
 		QueueDepth: *queue,
 		Check:      common.Check,
+		Cache:      solveCache,
+		WarmK:      cacheFlags.WarmK,
 	})
 	defer eng.Close()
 	log := slog.New(slog.NewJSONHandler(stderr, nil))
@@ -215,6 +226,7 @@ func (s *server) reqParams(r *http.Request, req *engine.Request) (time.Duration,
 		req.MaxNodes = n
 	}
 	req.Check = q.Get("check") == "1"
+	req.NoCache = q.Get("cache") == "bypass"
 	req.WantUtility = true
 	deadline := s.deadline
 	if v := q.Get("deadline"); v != "" {

@@ -1,0 +1,24 @@
+package cache
+
+// noop is the ModeOff implementation: every lookup misses, every store
+// is dropped, counters stay zero. The engine never installs the cache
+// middleware for a ModeOff cache (canonicalizing each request just to
+// miss would cost an O(n) hash pass per solve), so noop exists for
+// callers that want a Cache value unconditionally — tests, the factory,
+// code paths that treat "no cache" uniformly.
+type noop struct{}
+
+var noopCache Cache = noop{}
+
+// Noop returns the shared no-op cache.
+func Noop() Cache { return noopCache }
+
+func (noop) Mode() Mode                                 { return ModeOff }
+func (noop) Get(Key) (*Entry, bool)                     { return nil, false }
+func (noop) Put(Key, uint64, *Entry)                    {}
+func (noop) Candidates(_ uint64, dst []*Entry) []*Entry { return dst }
+func (noop) Remove(Key)                                 {}
+func (noop) Len() int                                   { return 0 }
+func (noop) Stats() Stats                               { return Stats{} }
+func (noop) NoteWarmStart()                             {}
+func (noop) NoteBypass()                                {}

@@ -108,6 +108,15 @@ func Feasible(in *core.Instance, a core.Assignment, eps float64) error {
 	return record(feasible(in, a, eps))
 }
 
+// ProbeFeasible is Feasible without the aa_check_* accounting — for
+// callers probing a candidate solution they will recover from rejecting
+// (the engine's warm-start repair path) rather than verifying a final
+// answer: a probe failure is handled by falling back to a cold solve,
+// so it must not surface as a violation in a "zero violations" run.
+func ProbeFeasible(in *core.Instance, a core.Assignment, eps float64) error {
+	return feasible(in, a, eps)
+}
+
 func feasible(in *core.Instance, a core.Assignment, eps float64) error {
 	if eps <= 0 {
 		eps = DefaultEps
@@ -241,12 +250,26 @@ func (r RatioReport) CheckAlpha(eps float64) error {
 	if eps <= 0 {
 		eps = DefaultRatioEps
 	}
+	return record(r.probeAlpha(eps))
+}
+
+// ProbeAlpha is CheckAlpha without the aa_check_* accounting, for the
+// same recover-on-failure callers as ProbeFeasible. eps ≤ 0 falls back
+// to DefaultRatioEps.
+func (r RatioReport) ProbeAlpha(eps float64) error {
+	if eps <= 0 {
+		eps = DefaultRatioEps
+	}
+	return r.probeAlpha(eps)
+}
+
+func (r RatioReport) probeAlpha(eps float64) error {
 	err := r.checkBound(eps)
 	if err == nil && r.F < (core.Alpha-eps)*r.FHat {
 		err = fmt.Errorf("%w: F/F̂ = %v below the guarantee α = %v (F = %v, F̂ = %v)",
 			ErrRatio, r.Ratio, core.Alpha, r.F, r.FHat)
 	}
-	return record(err)
+	return err
 }
 
 // PostSolve is the solver-pool hook: one call verifies an Algorithm 2

@@ -1,0 +1,85 @@
+package core_test
+
+// Warm-start repair benchmarks at the cache's headline operating point:
+// n = 10⁴ threads with k = 8 swapped for in-distribution replacements.
+// BenchmarkAssign2Warm is the repair pass seeded from a solved neighbor;
+// BenchmarkAssign2WarmColdRef is the full cold pipeline on the same
+// churned instance — the pair cmd/benchgate holds to the ISSUE's
+// "warm-start ≥ 2× over cold Assign2" floor.
+
+import (
+	"testing"
+
+	"aa/internal/core"
+	"aa/internal/gen"
+	"aa/internal/rng"
+)
+
+// warmBenchPair returns a 10⁴-thread instance plus the same instance with
+// its last 8 threads replaced — mirroring the engine cache benchmarks'
+// churn so the core and engine numbers describe the same workload.
+func warmBenchPair(b *testing.B) (base, churned *core.Instance) {
+	b.Helper()
+	r := rng.New(99)
+	in, err := gen.Instance(gen.DefaultUniform, 8, 1000, 10000, r.Split(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	donor, err := gen.Instance(gen.DefaultUniform, 8, 1000, 10000, r.Split(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch := &core.Instance{M: in.M, C: in.C, Threads: append(in.Threads[:0:0], in.Threads...)}
+	for i := 0; i < 8; i++ {
+		ch.Threads[len(ch.Threads)-1-i] = donor.Threads[i]
+	}
+	return in, ch
+}
+
+func BenchmarkAssign2Warm(b *testing.B) {
+	b.Run("n=10000", func(b *testing.B) {
+		base, churned := warmBenchPair(b)
+		w := core.NewWorkspace()
+		var cold core.Assignment
+		so := w.SuperOptimal(base)
+		gs := w.Linearize(base, so)
+		w.Assign2Linearized(base, gs, &cold)
+		n := churned.N()
+		seed := core.WarmSeed{
+			Lambda: so.Lambda,
+			Server: append([]int(nil), cold.Server...),
+			Alloc:  append([]float64(nil), cold.Alloc...),
+		}
+		for i := n - 8; i < n; i++ {
+			seed.Server[i] = -1
+			seed.Alloc[i] = 0
+		}
+		var out core.Assignment
+		w.Assign2Warm(churned, seed, &out) // size the workspace before counting allocs
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Assign2Warm(churned, seed, &out)
+		}
+	})
+}
+
+func BenchmarkAssign2WarmColdRef(b *testing.B) {
+	b.Run("n=10000", func(b *testing.B) {
+		_, churned := warmBenchPair(b)
+		w := core.NewWorkspace()
+		var out core.Assignment
+		{ // size the workspace before counting allocs
+			so := w.SuperOptimal(churned)
+			gs := w.Linearize(churned, so)
+			w.Assign2Linearized(churned, gs, &out)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			so := w.SuperOptimal(churned)
+			gs := w.Linearize(churned, so)
+			w.Assign2Linearized(churned, gs, &out)
+		}
+	})
+}

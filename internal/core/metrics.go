@@ -45,6 +45,11 @@ var (
 	metricAssign2SortCmps = telemetry.Default.Counter("aa_core_assign2_sort_comparisons_total")
 	metricAssign2HeapOps  = telemetry.Default.Counter("aa_core_assign2_heap_operations_total")
 
+	// Warm-start re-solve counters: λ-searches seeded from a cached price
+	// and cache-repair passes over changed threads (see internal/cache).
+	metricSuperOptWarm = telemetry.Default.Counter("aa_core_superopt_warm_total")
+	metricWarmRepairs  = telemetry.Default.Counter("aa_core_warm_repairs_total")
+
 	metricExactNodes       = telemetry.Default.Counter("aa_core_exact_nodes_total")
 	metricLocalSearchMoves = telemetry.Default.Counter("aa_core_localsearch_moves_total")
 

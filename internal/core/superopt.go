@@ -17,6 +17,11 @@ type SuperOpt struct {
 	Value []float64
 	// Total is F̂ = Σ f_i(ĉ_i).
 	Total float64
+	// Lambda is the water-filling price the λ-search converged to
+	// (0 for the trivial all-caps case). The solve cache persists it so
+	// warm-start re-solves of nearby instances can seed their λ-search
+	// from it instead of bisecting from scratch.
+	Lambda float64
 }
 
 // SuperOptimal computes the super-optimal allocation by water-filling
@@ -28,9 +33,10 @@ func SuperOptimal(in *Instance) SuperOpt {
 	budget := float64(in.M) * in.C
 	res := alloc.Concave(fs, budget)
 	so := SuperOpt{
-		Alloc: res.Alloc,
-		Value: make([]float64, len(fs)),
-		Total: res.Total,
+		Alloc:  res.Alloc,
+		Value:  make([]float64, len(fs)),
+		Total:  res.Total,
+		Lambda: res.Lambda,
 	}
 	for i, f := range fs {
 		so.Value[i] = f.Value(res.Alloc[i])

@@ -103,7 +103,7 @@ func superOptimalWith(in *Instance, fs []utility.Func, allocDst, valueDst []floa
 	} else {
 		valueDst = make([]float64, n)
 	}
-	so := SuperOpt{Alloc: res.Alloc, Value: valueDst, Total: res.Total}
+	so := SuperOpt{Alloc: res.Alloc, Value: valueDst, Total: res.Total, Lambda: res.Lambda}
 	for i, f := range fs {
 		so.Value[i] = f.Value(res.Alloc[i])
 	}

@@ -124,6 +124,7 @@ func solveLinearized(ctx ctxT, req *Request, resp *Response, algo1 bool) error {
 		}
 	}
 	resp.Bound = so.Total
+	resp.Lambda = so.Lambda
 	finishUtility(req, resp)
 	return nil
 }

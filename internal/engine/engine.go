@@ -45,6 +45,7 @@ import (
 	"math"
 	"sync"
 
+	"aa/internal/cache"
 	"aa/internal/core"
 	"aa/internal/solverpool"
 	"aa/internal/telemetry"
@@ -54,6 +55,11 @@ import (
 // solverpool so engine callers can errors.Is against it without
 // importing the pool.
 var ErrQueueFull = solverpool.ErrQueueFull
+
+// ErrClosed is returned by the concurrent entry points (Submit,
+// SolveBatch) after Close — re-exported from solverpool like
+// ErrQueueFull. Synchronous entry points keep working after Close.
+var ErrClosed = solverpool.ErrClosed
 
 // Request describes one solve. The zero value plus an Instance is a
 // valid request for the engine's default backend.
@@ -88,6 +94,10 @@ type Request struct {
 	// neither the engine option nor the process-wide check.Enable is
 	// set.
 	Check bool
+	// NoCache bypasses the engine's solve cache for this request (both
+	// lookup and store), forcing a fresh solve. Meaningless on engines
+	// built without Options.Cache.
+	NoCache bool
 	// Payload carries variant-specific input for adapter backends
 	// (*hetero request, online state, cloud fleet, ...). The core
 	// backends ignore it.
@@ -116,6 +126,10 @@ type Response struct {
 	// Bound is the super-optimal bound F̂ when the backend computed one
 	// (the linearized backends get it for free), else NaN.
 	Bound float64
+	// Lambda is the water-filling price of the solve's λ-search when the
+	// backend ran one (the linearized backends), else 0. The solve cache
+	// persists it so warm-start re-solves can seed their λ-search.
+	Lambda float64
 	// Moves is the number of accepted local-search moves ("ls" backend).
 	Moves int
 	// Backend is the canonical name of the backend that produced this
@@ -123,12 +137,20 @@ type Response struct {
 	Backend string
 }
 
-// prepare resets the response metadata for a new solve, leaving the
-// assignment buffers to be resized by the backend.
+// prepare resets the response for a new solve. The assignment buffers
+// are truncated to length zero (keeping their capacity, so the
+// zero-alloc SolveInto contract holds): a reused Response must not leak
+// the previous solve's Alt after a request without AltAssign1, nor a
+// stale assignment tail after a backend that writes fewer threads.
 func (r *Response) prepare(backend string) {
+	r.Assignment.Server = r.Assignment.Server[:0]
+	r.Assignment.Alloc = r.Assignment.Alloc[:0]
+	r.Alt.Server = r.Alt.Server[:0]
+	r.Alt.Alloc = r.Alt.Alloc[:0]
 	r.Utility = math.NaN()
 	r.AltUtility = math.NaN()
 	r.Bound = math.NaN()
+	r.Lambda = 0
 	r.Moves = 0
 	r.Backend = backend
 }
@@ -173,6 +195,16 @@ type Options struct {
 	// Middleware is appended inside the built-in telemetry and
 	// cancellation layers but outside checking and dispatch.
 	Middleware []Middleware
+	// Cache installs the solve-result cache middleware (between the
+	// caller middleware and checking, so miss-path solves are fully
+	// verified before being stored). nil or a ModeOff cache leaves the
+	// pipeline untouched — no per-request canonicalization cost.
+	Cache cache.Cache
+	// WarmK bounds the warm-start repair: a cache miss whose canonical
+	// form differs from a cached instance's by at most WarmK threads on
+	// each side (added and removed) is repaired from that entry instead
+	// of solved cold. 0 disables warm starts (exact hits still serve).
+	WarmK int
 }
 
 // Engine runs requests through the composed middleware chain and, for
@@ -182,12 +214,15 @@ type Engine struct {
 	def     string
 	handler Handler
 
-	poolOnce sync.Once
+	// poolMu guards the lazily started pool AND the closed flag: the
+	// old sync.Once lazy start raced with Close — a post-Close Submit
+	// silently restarted a fresh pool that was never drained (goroutine
+	// and queue leak). Now every concurrent entry point resolves the
+	// pool under the same lock Close takes, and sees ErrClosed instead.
+	poolMu   sync.Mutex
 	pool     *solverpool.Pool
 	poolOpts solverpool.Options
-
-	closeMu sync.Mutex
-	closed  bool
+	closed   bool
 }
 
 // New builds an engine: the middleware chain is composed here, once, so
@@ -197,9 +232,12 @@ func New(opts Options) *Engine {
 	if def == "" {
 		def = "assign2"
 	}
-	mw := make([]Middleware, 0, 3+len(opts.Middleware))
+	mw := make([]Middleware, 0, 4+len(opts.Middleware))
 	mw = append(mw, withTelemetry, withCancel)
 	mw = append(mw, opts.Middleware...)
+	if opts.Cache != nil && opts.Cache.Mode() != cache.ModeOff {
+		mw = append(mw, withSolveCache(opts.Cache, opts.WarmK))
+	}
 	mw = append(mw, withCheck(opts.Check))
 	return &Engine{
 		def:      def,
@@ -248,10 +286,18 @@ func (e *Engine) Solve(ctx context.Context, req *Request) (*Response, error) {
 
 // lazyPool starts the worker pool on first concurrent use, so engines
 // used purely synchronously (the package default, the aa facade) never
-// spawn goroutines.
-func (e *Engine) lazyPool() *solverpool.Pool {
-	e.poolOnce.Do(func() { e.pool = solverpool.New(e.poolOpts) })
-	return e.pool
+// spawn goroutines. After Close it returns ErrClosed rather than
+// restarting a pool nothing would ever drain.
+func (e *Engine) lazyPool() (*solverpool.Pool, error) {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if e.pool == nil {
+		e.pool = solverpool.New(e.poolOpts)
+	}
+	return e.pool, nil
 }
 
 // Submit hands the request to the engine's pool without blocking: it
@@ -264,8 +310,12 @@ func (e *Engine) Submit(ctx context.Context, req *Request) (*Response, error) {
 		resp *Response
 		err  error
 	}
+	p, err := e.lazyPool()
+	if err != nil {
+		return nil, err
+	}
 	ch := make(chan result, 1)
-	err := e.lazyPool().Submit(ctx, func(tctx context.Context) error {
+	err = p.Submit(ctx, func(tctx context.Context) error {
 		r, err := e.Solve(tctx, req)
 		ch <- result{resp: r, err: err}
 		return err
@@ -289,6 +339,10 @@ func (e *Engine) SolveBatch(ctx context.Context, reqs []*Request) ([]*Response, 
 	if len(reqs) == 0 {
 		return nil, nil
 	}
+	p, err := e.lazyPool()
+	if err != nil {
+		return nil, err
+	}
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -298,7 +352,6 @@ func (e *Engine) SolveBatch(ctx context.Context, reqs []*Request) ([]*Response, 
 		err  error
 	}
 	results := make(chan result, len(reqs))
-	p := e.lazyPool()
 	go func() {
 		for i, req := range reqs {
 			i, req := i, req
@@ -336,11 +389,13 @@ func (e *Engine) SolveBatch(ctx context.Context, reqs []*Request) ([]*Response, 
 	return out, nil
 }
 
-// Close drains and stops the engine's pool, if one was ever started.
-// Synchronous entry points keep working after Close.
+// Close drains and stops the engine's pool, if one was ever started,
+// and marks the engine closed: the concurrent entry points (Submit,
+// SolveBatch) return ErrClosed afterwards. Synchronous entry points
+// keep working after Close. Closing twice is a no-op.
 func (e *Engine) Close() {
-	e.closeMu.Lock()
-	defer e.closeMu.Unlock()
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
 	if e.closed {
 		return
 	}
@@ -351,8 +406,11 @@ func (e *Engine) Close() {
 }
 
 // Pool exposes the engine's worker pool (starting it if needed) so
-// callers can poll its Stats snapshot.
-func (e *Engine) Pool() *solverpool.Pool { return e.lazyPool() }
+// callers can poll its Stats snapshot. It returns nil after Close.
+func (e *Engine) Pool() *solverpool.Pool {
+	p, _ := e.lazyPool()
+	return p
+}
 
 var (
 	defaultOnce   sync.Once

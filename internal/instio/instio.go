@@ -5,9 +5,11 @@
 package instio
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"aa/internal/core"
 	"aa/internal/utility"
@@ -91,43 +93,90 @@ func decodeThread(tj threadJSON, c float64) (utility.Func, error) {
 	}
 }
 
-func knotsOf(p *utility.PiecewiseLinear) ([]float64, []float64) {
-	// PiecewiseLinear exposes knots via its interp curve; sample the
-	// boundary structure by probing (the type intentionally keeps its
-	// representation private). We reconstruct knots from the public API:
-	// evaluate on a dense grid and keep slope-change points.
-	return reconstructKnots(p, p.Cap())
+// knotsOf and sampledKnots return the exact defining knots of the knot
+// families, so the wire form round-trips the curve bit-exactly: the
+// decoder rebuilds the same interpolant from the same knots.
+func knotsOf(p *utility.PiecewiseLinear) ([]float64, []float64) { return p.Knots() }
+
+func sampledKnots(s *utility.Sampled) ([]float64, []float64) { return s.Knots() }
+
+// Binary family tags for AppendThreadBinary. One distinct byte per wire
+// family; never reorder or reuse values — the tags are part of the
+// stable encoding the solve cache hashes.
+const (
+	binLinear byte = iota + 1
+	binCappedLinear
+	binPower
+	binLog
+	binSatExp
+	binSaturating
+	binPiecewise
+	binSampled
+)
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
 }
 
-func sampledKnots(s *utility.Sampled) ([]float64, []float64) {
-	return reconstructKnots(s, s.Cap())
+func appendF64(dst []byte, v float64) []byte { return appendU64(dst, math.Float64bits(v)) }
+
+// AppendThreadBinary appends the canonical binary encoding of one
+// utility function to dst — the stable per-thread identity the solve
+// cache hashes instances with. The layout is the cap's exact float64
+// bits (the JSON wire form drops per-thread caps — Decode re-derives
+// them from the instance C — but in memory two utilities can differ
+// only in cap and must not share an identity), a one-byte family tag,
+// then the family's parameters as float64 bits; the knot families write
+// a knot count followed by the exact xs and ys bits. Every field is
+// fixed-width little-endian, so the encoding is unambiguous and stable
+// across processes and Go releases. It fails only on a utility type
+// outside the wire vocabulary; such instances are uncacheable.
+func AppendThreadBinary(dst []byte, f utility.Func) ([]byte, error) {
+	dst = appendF64(dst, f.Cap())
+	switch v := f.(type) {
+	case utility.Linear:
+		return appendF64(append(dst, binLinear), v.Slope), nil
+	case utility.CappedLinear:
+		return appendF64(appendF64(append(dst, binCappedLinear), v.Slope), v.Knee), nil
+	case utility.Power:
+		return appendF64(appendF64(append(dst, binPower), v.Scale), v.Beta), nil
+	case utility.Log:
+		return appendF64(appendF64(append(dst, binLog), v.Scale), v.Shift), nil
+	case utility.SatExp:
+		return appendF64(appendF64(append(dst, binSatExp), v.Scale), v.K), nil
+	case utility.Saturating:
+		return appendF64(appendF64(append(dst, binSaturating), v.Scale), v.K), nil
+	case *utility.PiecewiseLinear:
+		return appendKnots(append(dst, binPiecewise), v), nil
+	case *utility.Sampled:
+		return appendKnots(append(dst, binSampled), v), nil
+	default:
+		return nil, fmt.Errorf("instio: cannot encode utility type %T", f)
+	}
 }
 
-// reconstructKnots samples f on a uniform grid; exact for reasonably
-// smooth curves at the chosen density. The grid includes 0 and Cap.
-func reconstructKnots(f utility.Func, c float64) ([]float64, []float64) {
-	const gridPoints = 65
-	xs := make([]float64, gridPoints)
-	ys := make([]float64, gridPoints)
-	for i := 0; i < gridPoints; i++ {
-		x := c * float64(i) / float64(gridPoints-1)
-		xs[i] = x
-		y := f.Value(x)
-		if i > 0 && y < ys[i-1] {
-			y = ys[i-1] // enforce monotone wire data against float noise
-		}
-		ys[i] = y
+// knotCurve is the per-knot access the knot families share; using it
+// instead of Knots() keeps the encoder allocation-free, which matters
+// because the solve cache encodes every thread on every lookup.
+type knotCurve interface {
+	KnotCount() int
+	Knot(i int) (x, y float64)
+}
+
+func appendKnots(dst []byte, c knotCurve) []byte {
+	n := c.KnotCount()
+	dst = appendU64(dst, uint64(n))
+	for i := 0; i < n; i++ {
+		x, _ := c.Knot(i)
+		dst = appendF64(dst, x)
 	}
-	// Enforce concavity of the wire data (required by the piecewise
-	// constructor) by clamping secant slopes to be nonincreasing.
-	for i := 2; i < gridPoints; i++ {
-		prevSlope := (ys[i-1] - ys[i-2]) / (xs[i-1] - xs[i-2])
-		maxY := ys[i-1] + prevSlope*(xs[i]-xs[i-1])
-		if ys[i] > maxY {
-			ys[i] = maxY
-		}
+	for i := 0; i < n; i++ {
+		_, y := c.Knot(i)
+		dst = appendF64(dst, y)
 	}
-	return xs, ys
+	return dst
 }
 
 // Encode writes an instance as JSON.

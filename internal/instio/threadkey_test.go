@@ -1,0 +1,107 @@
+package instio
+
+import (
+	"bytes"
+	"testing"
+
+	"aa/internal/utility"
+)
+
+func threadBin(t *testing.T, f utility.Func) []byte {
+	t.Helper()
+	b, err := AppendThreadBinary(nil, f)
+	if err != nil {
+		t.Fatalf("AppendThreadBinary(%T): %v", f, err)
+	}
+	return b
+}
+
+func TestThreadBinaryStableAndDiscriminating(t *testing.T) {
+	fs := []utility.Func{
+		utility.Linear{Slope: 2, C: 200},
+		utility.CappedLinear{Slope: 1.5, Knee: 80, C: 200},
+		utility.Power{Scale: 3, Beta: 0.7, C: 200},
+		utility.Log{Scale: 4, Shift: 25, C: 200},
+		utility.SatExp{Scale: 5, K: 60, C: 200},
+		utility.Saturating{Scale: 6, K: 90, C: 200},
+	}
+	seen := map[string]int{}
+	for i, f := range fs {
+		k1 := threadBin(t, f)
+		k2 := threadBin(t, f)
+		if !bytes.Equal(k1, k2) {
+			t.Fatalf("AppendThreadBinary(%T) not deterministic: %x vs %x", f, k1, k2)
+		}
+		if j, dup := seen[string(k1)]; dup {
+			t.Fatalf("utilities %d and %d collide on encoding %x", j, i, k1)
+		}
+		seen[string(k1)] = i
+	}
+	// Same family, different parameter → different encoding.
+	a := threadBin(t, utility.Linear{Slope: 2, C: 200})
+	b := threadBin(t, utility.Linear{Slope: 2.0000001, C: 200})
+	if bytes.Equal(a, b) {
+		t.Fatalf("parameter change not reflected in encoding: %x", a)
+	}
+	// Different cap only → different encoding. The JSON wire form drops
+	// per-thread caps (Decode re-derives them from the instance C), so the
+	// binary form must bind the cap explicitly or cap-only changes would
+	// collide.
+	c := threadBin(t, utility.Linear{Slope: 2, C: 100})
+	if bytes.Equal(a, c) {
+		t.Fatalf("cap change not reflected in encoding: %x", a)
+	}
+}
+
+func TestThreadBinaryAppendsToDst(t *testing.T) {
+	prefix := []byte("prefix")
+	out, err := AppendThreadBinary(prefix, utility.Linear{Slope: 2, C: 200})
+	if err != nil {
+		t.Fatalf("AppendThreadBinary: %v", err)
+	}
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatalf("dst prefix not preserved: %x", out)
+	}
+	if !bytes.Equal(out[len(prefix):], threadBin(t, utility.Linear{Slope: 2, C: 200})) {
+		t.Fatalf("appended bytes differ from fresh encoding")
+	}
+}
+
+func TestThreadBinaryKnotFamilies(t *testing.T) {
+	pw, err := utility.NewPiecewiseLinear([]float64{0, 50, 200}, []float64{0, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := utility.NewSampled([]float64{0, 100, 200}, []float64{0, 25, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The knot families must encode their exact defining knots, not a
+	// resampled approximation — distinct curves with the same span must
+	// not collide, and the same knots must round to the same bytes.
+	kPW := threadBin(t, pw)
+	kSA := threadBin(t, sa)
+	if bytes.Equal(kPW, kSA) {
+		t.Fatalf("piecewise and sampled encodings collide: %x", kPW)
+	}
+	pw2, err := utility.NewPiecewiseLinear([]float64{0, 50, 200}, []float64{0, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(kPW, threadBin(t, pw2)) {
+		t.Fatalf("equal piecewise curves encode differently")
+	}
+	pw3, err := utility.NewPiecewiseLinear([]float64{0, 50, 200}, []float64{0, 30.0000001, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(kPW, threadBin(t, pw3)) {
+		t.Fatalf("one-knot change not reflected in encoding")
+	}
+}
+
+func TestThreadBinaryUnknownTypeErrors(t *testing.T) {
+	if _, err := AppendThreadBinary(nil, weird{}); err == nil {
+		t.Fatal("expected error for utility type outside the wire vocabulary")
+	}
+}

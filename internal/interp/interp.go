@@ -147,6 +147,12 @@ func (l *Linear) Knots() (xs, ys []float64) {
 	return append([]float64(nil), l.xs...), append([]float64(nil), l.ys...)
 }
 
+// KnotCount returns the number of sample points.
+func (l *Linear) KnotCount() int { return len(l.xs) }
+
+// Knot returns the i-th sample point without copying the knot slices.
+func (l *Linear) Knot(i int) (x, y float64) { return l.xs[i], l.ys[i] }
+
 // PCHIP is a piecewise cubic Hermite interpolant with Fritsch–Carlson
 // monotone slope limiting — the algorithm behind Matlab's pchip.
 //
@@ -372,6 +378,12 @@ func largestSuplevel(a, b, c float64) (float64, bool) {
 func (p *PCHIP) Knots() (xs, ys []float64) {
 	return append([]float64(nil), p.xs...), append([]float64(nil), p.ys...)
 }
+
+// KnotCount returns the number of sample points.
+func (p *PCHIP) KnotCount() int { return len(p.xs) }
+
+// Knot returns the i-th sample point without copying the knot slices.
+func (p *PCHIP) Knot(i int) (x, y float64) { return p.xs[i], p.ys[i] }
 
 // Slopes returns a copy of the limited knot derivatives.
 func (p *PCHIP) Slopes() []float64 { return append([]float64(nil), p.d...) }

@@ -45,6 +45,23 @@ type SolveStats struct {
 	QueuePeak  int     `json:"queuePeak"`
 }
 
+// CacheStats is the solve-result cache section, present when the run
+// installed a cache (RunOptions.Cache, -cache on aareplay). With a
+// TTL-free cache the counters are a pure function of the trace —
+// solves happen in deterministic event order — so Canonical keeps this
+// section and the determinism gate covers it.
+type CacheStats struct {
+	Mode       string  `json:"mode"`
+	Hits       uint64  `json:"hits"`
+	Misses     uint64  `json:"misses"`
+	WarmStarts uint64  `json:"warmStarts"`
+	Stores     uint64  `json:"stores"`
+	Evictions  uint64  `json:"evictions"`
+	Bypasses   uint64  `json:"bypasses"`
+	HitRate    float64 `json:"hitRate"`  // hits / (hits+misses)
+	WarmRate   float64 `json:"warmRate"` // warmStarts / (hits+misses)
+}
+
 // WallStats is the wall-clock side of the run. It is measured, not
 // modeled, and therefore NOT deterministic — Canonical strips it.
 type WallStats struct {
@@ -73,6 +90,7 @@ type Report struct {
 	Trace      TraceStats   `json:"trace"`
 	Utility    UtilityStats `json:"utility"`
 	Solves     SolveStats   `json:"solves"`
+	Cache      *CacheStats  `json:"cache,omitempty"`
 	Wall       *WallStats   `json:"wall,omitempty"`
 	Trajectory []Sample     `json:"trajectory"`
 }

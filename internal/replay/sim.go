@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"time"
 
+	"aa/internal/cache"
 	"aa/internal/core"
 	"aa/internal/engine"
 	"aa/internal/instio"
@@ -45,6 +46,15 @@ type RunOptions struct {
 	// Events, when non-nil, is a pre-expanded timeline (a recorded
 	// trace); nil generates the scenario's synthetic trace from Seed.
 	Events []online.Event
+	// Cache, when non-nil and not ModeOff, installs the solve-result
+	// cache in the replay engine and adds a cache section to the report.
+	// Replay determinism requires a TTL-free cache (Config.TTL = 0):
+	// solves happen in event order, so hit/miss/warm counts are then a
+	// pure function of the trace. Ignored for remote (Addr) replays —
+	// caching happens server-side there.
+	Cache cache.Cache
+	// WarmK bounds the cache's warm-start repair (engine.Options.WarmK).
+	WarmK int
 }
 
 // solveObserver collects what the engine middleware (or the HTTP
@@ -104,7 +114,11 @@ func Run(sc *Scenario, opts RunOptions) (*Report, error) {
 		// traceparent headers link the remote aaserve spans in turn.
 		policy = &httpResolve{addr: opts.Addr, obs: obs, parent: span.Context()}
 	} else {
-		eng := engine.New(engine.Options{Middleware: []engine.Middleware{obs.middleware()}})
+		eng := engine.New(engine.Options{
+			Middleware: []engine.Middleware{obs.middleware()},
+			Cache:      opts.Cache,
+			WarmK:      opts.WarmK,
+		})
 		defer eng.Close()
 		switch sc.policyName() {
 		case "full-resolve":
@@ -138,7 +152,32 @@ func Run(sc *Scenario, opts RunOptions) (*Report, error) {
 		reg.Counter(telemetry.Label("aa_replay_resolves_total", "scenario", sc.Name)).Add(uint64(obs.count))
 	}
 
-	return acc.report(sc, opts, tstats, res, obs, wallTotal), nil
+	rep := acc.report(sc, opts, tstats, res, obs, wallTotal)
+	if opts.Addr == "" && opts.Cache != nil && opts.Cache.Mode() != cache.ModeOff {
+		rep.Cache = newCacheStats(opts.Cache)
+	}
+	return rep, nil
+}
+
+// newCacheStats folds a cache's counters into the report section,
+// deriving the hit and warm-start rates over the cacheable requests
+// (bypasses excluded).
+func newCacheStats(c cache.Cache) *CacheStats {
+	st := c.Stats()
+	cs := &CacheStats{
+		Mode:       string(c.Mode()),
+		Hits:       st.Hits,
+		Misses:     st.Misses,
+		WarmStarts: st.WarmStarts,
+		Stores:     st.Stores,
+		Evictions:  st.Evictions,
+		Bypasses:   st.Bypasses,
+	}
+	if lookups := st.Hits + st.Misses; lookups > 0 {
+		cs.HitRate = float64(st.Hits) / float64(lookups)
+		cs.WarmRate = float64(st.WarmStarts) / float64(lookups)
+	}
+	return cs
 }
 
 // accumulator folds per-event hook observations into the report: the

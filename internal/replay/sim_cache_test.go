@@ -1,0 +1,128 @@
+package replay
+
+// Replay-level cache coverage: a churn scenario re-solving through a
+// cached engine reports hit/warm-start rates, the section is
+// deterministic (TTL = 0), and a second replay of the same trace
+// against the same cache is served entirely from exact hits.
+
+import (
+	"bytes"
+	"testing"
+
+	"aa/internal/cache"
+)
+
+// churnScenario is the builtin churn family under the full-resolve
+// policy, shrunk: every arrival/departure/drift triggers a re-solve, so
+// consecutive solve instances differ by only a few threads — the cache
+// warm-start path's operating point.
+func churnScenario(t *testing.T) *Scenario {
+	t.Helper()
+	sc := shrink(t, "churn")
+	sc.Policy = "full-resolve"
+	sc.HybridThreshold = 0
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("churn scenario invalid: %v", err)
+	}
+	return sc
+}
+
+func newReplayCache(t *testing.T) cache.Cache {
+	t.Helper()
+	c, err := cache.New(cache.Config{Mode: cache.ModeMemory, Size: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRunCacheReportsWarmStartRates(t *testing.T) {
+	sc := churnScenario(t)
+	c := newReplayCache(t)
+	rep, err := Run(sc, RunOptions{Seed: 42, Cache: c, WarmK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := rep.Cache
+	if cs == nil {
+		t.Fatal("cached replay produced no cache section")
+	}
+	if cs.Mode != string(cache.ModeMemory) {
+		t.Fatalf("cache mode %q, want %q", cs.Mode, cache.ModeMemory)
+	}
+	if cs.Misses == 0 {
+		t.Fatal("churn replay never missed — nothing was solved through the cache")
+	}
+	if cs.WarmStarts == 0 {
+		t.Fatal("churn replay never warm-started despite per-event re-solves")
+	}
+	if cs.WarmStarts > cs.Misses {
+		t.Fatalf("more warm starts (%d) than misses (%d)", cs.WarmStarts, cs.Misses)
+	}
+	lookups := float64(cs.Hits + cs.Misses)
+	if got, want := cs.WarmRate, float64(cs.WarmStarts)/lookups; got != want {
+		t.Fatalf("warmRate %v, want %v", got, want)
+	}
+	if got, want := cs.HitRate, float64(cs.Hits)/lookups; got != want {
+		t.Fatalf("hitRate %v, want %v", got, want)
+	}
+
+	// Replaying the identical trace against the same cache is served
+	// entirely from exact hits: every solve of the first run stored its
+	// verified response, so the second run adds hits and no misses.
+	rep2, err := Run(sc, RunOptions{Seed: 42, Cache: c, WarmK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs2 := rep2.Cache
+	if cs2.Misses != cs.Misses {
+		t.Fatalf("second replay of the same trace missed: %d misses, want %d", cs2.Misses, cs.Misses)
+	}
+	if cs2.Hits <= cs.Hits {
+		t.Fatalf("second replay of the same trace gained no hits: %+v vs %+v", cs2, cs)
+	}
+	// The replayed utility trajectory is unchanged by cache serving.
+	if rep2.Utility != rep.Utility {
+		t.Fatalf("cache-served replay changed the utility stats:\n%+v\nvs\n%+v", rep2.Utility, rep.Utility)
+	}
+}
+
+func TestRunCacheSectionDeterministic(t *testing.T) {
+	sc := churnScenario(t)
+	var a, b bytes.Buffer
+	for i, buf := range []*bytes.Buffer{&a, &b} {
+		rep, err := Run(sc, RunOptions{Seed: 7, Cache: newReplayCache(t), WarmK: 8})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if rep.Cache == nil {
+			t.Fatalf("run %d: no cache section", i)
+		}
+		if err := rep.Canonical().WriteJSON(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("same-seed cached reports differ:\n%s", firstDiff(a.String(), b.String()))
+	}
+}
+
+func TestRunCacheOffHasNoSection(t *testing.T) {
+	sc := churnScenario(t)
+	off, err := cache.New(cache.Config{Mode: cache.ModeOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []RunOptions{
+		{Seed: 42},
+		{Seed: 42, Cache: off, WarmK: 8},
+	} {
+		rep, err := Run(sc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Cache != nil {
+			t.Fatalf("uncached replay grew a cache section: %+v", rep.Cache)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -419,5 +420,42 @@ func TestSetupAndShutdown(t *testing.T) {
 	}
 	if err := shutdown(); err != nil {
 		t.Errorf("empty shutdown: %v", err)
+	}
+}
+
+// Map-iteration-order audit pin (the State.Loads class of bug): the
+// exposition text is canonical output fed from registry state, so it
+// must ride the ordered entry list, never Go map order. Two registries
+// populated identically — and repeated exports of one registry — must
+// be byte-identical.
+func TestWritePrometheusByteDeterministic(t *testing.T) {
+	populate := func() *Registry {
+		r := NewRegistry()
+		for i := 0; i < 40; i++ {
+			r.Counter(Label("audit_total", "shard", fmt.Sprintf("s%02d", i))).Add(uint64(i))
+		}
+		r.Gauge("audit_depth").Set(7)
+		h := r.Histogram("audit_seconds", []float64{0.1, 1, 10})
+		for i := 0; i < 10; i++ {
+			h.Observe(float64(i) / 3)
+		}
+		return r
+	}
+	var a, b, again bytes.Buffer
+	ra, rb := populate(), populate()
+	if err := ra.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("identically populated registries export different bytes:\n%s\nvs\n%s", &a, &b)
+	}
+	if !bytes.Equal(a.Bytes(), again.Bytes()) {
+		t.Fatal("repeated export of one registry changed bytes")
 	}
 }

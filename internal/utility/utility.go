@@ -321,6 +321,16 @@ func NewPiecewiseLinear(xs, ys []float64) (*PiecewiseLinear, error) {
 // Value evaluates the curve at x.
 func (p *PiecewiseLinear) Value(x float64) float64 { return p.curve.At(clamp(x, p.c)) }
 
+// Knots returns copies of the curve's defining knots — the exact
+// (xs, ys) the curve was built from.
+func (p *PiecewiseLinear) Knots() (xs, ys []float64) { return p.curve.Knots() }
+
+// KnotCount returns the number of defining knots.
+func (p *PiecewiseLinear) KnotCount() int { return p.curve.KnotCount() }
+
+// Knot returns the i-th defining knot without copying the knot slices.
+func (p *PiecewiseLinear) Knot(i int) (x, y float64) { return p.curve.Knot(i) }
+
 // Deriv returns the slope of the segment containing x.
 func (p *PiecewiseLinear) Deriv(x float64) float64 {
 	if x >= p.c {
@@ -374,6 +384,16 @@ func NewSampled(xs, ys []float64) (*Sampled, error) {
 
 // Value evaluates the interpolated curve at x.
 func (s *Sampled) Value(x float64) float64 { return s.curve.At(clamp(x, s.c)) }
+
+// Knots returns copies of the curve's defining knots — the exact
+// (xs, ys) the curve was built from.
+func (s *Sampled) Knots() (xs, ys []float64) { return s.curve.Knots() }
+
+// KnotCount returns the number of defining knots.
+func (s *Sampled) KnotCount() int { return s.curve.KnotCount() }
+
+// Knot returns the i-th defining knot without copying the knot slices.
+func (s *Sampled) Knot(i int) (x, y float64) { return s.curve.Knot(i) }
 
 // Deriv evaluates the interpolated derivative at x.
 func (s *Sampled) Deriv(x float64) float64 {

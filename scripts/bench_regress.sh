@@ -2,7 +2,9 @@
 # Benchmark-regression gate: run the solver-core benchmark matrix (solve,
 # superopt, assign1, assign2 across the six figure workloads at n in
 # {100, 1k, 10k}, the retained reference implementations, the machine
-# calibration probe, and the zero-alloc session solve), emit a
+# calibration probe, the zero-alloc session solve, and the solve-cache
+# rungs: warm repair vs cold at the core, exact-hit/warm-start/cold
+# through the engine), emit a
 # BENCH_<rev>.json snapshot, assert the fast-path speedup floor, and —
 # when bench/baseline.json exists — fail on any benchmark more than
 # MAX_RATIO slower than the calibrated baseline or allocating more.
@@ -28,15 +30,15 @@ trap 'rm -f "$tmp"' EXIT
 
 echo "bench_regress: core benchmarks (benchtime=$BENCHTIME)..."
 go test -run '^$' \
-  -bench '^Benchmark(Calibrate|SuperOptimal|SuperOptimalRef|Assign1|Assign1Ref|Assign2|Solve)$' \
+  -bench '^Benchmark(Calibrate|SuperOptimal|SuperOptimalRef|Assign1|Assign1Ref|Assign2|Solve|Assign2Warm|Assign2WarmColdRef)$' \
   -benchtime "$BENCHTIME" ./internal/core/ | tee -a "$tmp"
 
 echo "bench_regress: solverpool session benchmark..."
 go test -run '^$' -bench '^BenchmarkSolveSession$' \
   -benchtime "$BENCHTIME" ./internal/solverpool/ | tee -a "$tmp"
 
-echo "bench_regress: engine pipeline benchmark..."
-go test -run '^$' -bench '^BenchmarkEngineSolve$' \
+echo "bench_regress: engine pipeline and cache benchmarks..."
+go test -run '^$' -bench '^Benchmark(EngineSolve$|Cache(ColdSolve|WarmStart|ExactHit)$)' \
   -benchtime "$BENCHTIME" ./internal/engine/ | tee -a "$tmp"
 
 go run ./cmd/benchgate -emit -rev "$REV" <"$tmp" >"$OUT"

@@ -26,6 +26,7 @@ FLOORS="
 ./internal/replay 82
 ./internal/online 85
 ./internal/telemetry 85
+./internal/cache 85
 "
 
 fail=0
