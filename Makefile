@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmtcheck tidy-check race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke serve-smoke cache-smoke trace-smoke replay-smoke cover-floor staticcheck vulncheck bench-json bench-regress ci bench figures examples cover clean
+.PHONY: all build test vet fmtcheck tidy-check race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke serve-smoke batch-smoke cache-smoke trace-smoke replay-smoke cover-floor staticcheck vulncheck bench-json bench-regress bench-1m ci bench figures examples cover clean
 
 all: build vet fmtcheck test
 
@@ -45,6 +45,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzConcaveFeasibleAndDominant -fuzztime=10s ./internal/alloc
 	$(GO) test -run='^$$' -fuzz=FuzzFeasibleConcave -fuzztime=10s ./internal/check
 	$(GO) test -run='^$$' -fuzz=FuzzDifferentialAssign -fuzztime=10s ./internal/check
+	$(GO) test -run='^$$' -fuzz=FuzzAssign2Parallel -fuzztime=10s ./internal/check
 
 # Every benchmark compiled and run once.
 bench-smoke:
@@ -62,6 +63,13 @@ metrics-smoke:
 # metrics, graceful SIGTERM drain.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Streaming /solve/batch check: a ~35 MB batch must stream back
+# byte-identical to the buffered path, twice (determinism), with the
+# server's peak RSS below the body size, and a small -max-batch-bytes
+# must produce the typed 413.
+batch-smoke:
+	./scripts/batch_stream_smoke.sh
 
 # End-to-end solve-result cache check: aaserve with -cache memory must
 # serve a repeated solve byte-identically with aa_cache_hits_total
@@ -117,8 +125,14 @@ bench-json:
 bench-regress:
 	./scripts/bench_regress.sh
 
+# The opt-in n=10^6 tier: serial vs parallel Assign2 and the full solve
+# at a million threads, folded into the snapshot. On >= 4 cores
+# benchgate then enforces the >= 2x parallel-speedup floor.
+bench-1m:
+	AA_BENCH_1M=1 ./scripts/bench_regress.sh
+
 # Mirror of .github/workflows/ci.yml.
-ci: build vet fmtcheck tidy-check staticcheck vulncheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke bench-regress metrics-smoke serve-smoke cache-smoke trace-smoke replay-smoke cover-floor
+ci: build vet fmtcheck tidy-check staticcheck vulncheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke bench-regress metrics-smoke serve-smoke batch-smoke cache-smoke trace-smoke replay-smoke cover-floor
 
 # One benchmark per paper figure/claim plus micro-benchmarks.
 bench:

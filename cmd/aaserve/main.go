@@ -8,6 +8,7 @@
 //	        [-deadline 0] [-history-interval 10s] [-metrics-addr host:port]
 //	        [-trace-out file.jsonl] [-profile-dir dir] [-check]
 //	        [-cache memory] [-cache-size 1024] [-cache-ttl 0] [-cache-warm-k 8]
+//	        [-max-batch-bytes 1073741824] [-stream-batch] [-parallel-threshold 0]
 //
 // Endpoints:
 //
@@ -42,8 +43,18 @@
 //
 // Responses: 200 with an assignment JSON (server, alloc, utility,
 // superOptimalBound) on success; 400 for malformed instances or unknown
-// backends; 422 when a requested check fails; 429 when the solve queue
-// is full (retry later); 504 when the deadline expires mid-solve.
+// backends; 413 (typed JSON: error, code, limitBytes) when a batch body
+// exceeds -max-batch-bytes; 422 when a requested check fails; 429 when
+// the solve queue is full (retry later); 504 when the deadline expires
+// mid-solve.
+//
+// By default /solve/batch streams: instances are decoded off the wire
+// one at a time, solved through the worker pool with a bounded
+// in-flight window, and each assignment is written as soon as it is
+// ready, so server memory is bounded by the window rather than the
+// batch. The bytes produced are identical to the buffered path
+// (-stream-batch=false); a solve failure after the response has begun
+// aborts the connection mid-array rather than fabricating a status.
 //
 // On SIGINT/SIGTERM the listener drains in-flight requests (up to 10s)
 // before the process exits. The startup line "aaserve: listening on
@@ -66,6 +77,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"syscall"
 	"time"
@@ -91,6 +103,10 @@ type server struct {
 	backend  string        // default backend for requests that name none
 	deadline time.Duration // default per-request deadline, 0 = none
 	log      *slog.Logger  // JSON access/lifecycle logs; nil = discard
+
+	maxBatchBytes int64 // /solve/batch body cap; <= 0 = unlimited
+	streamBatch   bool  // stream /solve/batch instead of buffering it
+	batchInFlight int   // streaming window; <= 0 lets the engine pick
 }
 
 // run is the testable body of the command. ready, when non-nil,
@@ -106,6 +122,12 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		deadline = fs.Duration("deadline", 0, "default per-request deadline (0 = none)")
 		history  = fs.Duration("history-interval", 10*time.Second,
 			"metrics-history snapshot interval for /metrics/history (0 disables)")
+		maxBatchBytes = fs.Int64("max-batch-bytes", 1<<30,
+			"reject /solve/batch bodies larger than this with 413 (0 = unlimited)")
+		streamBatch = fs.Bool("stream-batch", true,
+			"stream /solve/batch: decode, solve and respond incrementally with bounded memory (false = buffer the whole batch)")
+		parallelThreshold = fs.Int("parallel-threshold", 0,
+			"instance size at which the core solver goes multi-core (0 = GOMAXPROCS-aware default)")
 	)
 	var common cliutil.Common
 	common.AddFlags(fs)
@@ -133,6 +155,9 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	if _, ok := engine.Lookup(*backend); !ok {
 		return fmt.Errorf("unknown default backend %q", *backend)
 	}
+	if *parallelThreshold != 0 {
+		core.SetParallelThreshold(*parallelThreshold)
+	}
 	solveCache, err := cacheFlags.Build()
 	if err != nil {
 		return err
@@ -147,7 +172,16 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	})
 	defer eng.Close()
 	log := slog.New(slog.NewJSONHandler(stderr, nil))
-	srv := &server{eng: eng, backend: *backend, deadline: *deadline, log: log}
+	wk := *workers
+	if wk <= 0 {
+		wk = runtime.GOMAXPROCS(0)
+	}
+	srv := &server{
+		eng: eng, backend: *backend, deadline: *deadline, log: log,
+		maxBatchBytes: *maxBatchBytes,
+		streamBatch:   *streamBatch,
+		batchInFlight: 2*wk + 2,
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -281,8 +315,40 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if s.maxBatchBytes > 0 {
+		if r.ContentLength > s.maxBatchBytes {
+			writeBatchTooLarge(w, r.ContentLength, s.maxBatchBytes)
+			return
+		}
+		// Chunked bodies carry no Content-Length; the reader enforces the
+		// same cap as the bytes actually arrive.
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBatchBytes)
+	}
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	if s.streamBatch {
+		s.handleBatchStream(ctx, w, r, &proto)
+		return
+	}
+	s.handleBatchBuffered(ctx, w, r, &proto)
+}
+
+// handleBatchBuffered is the legacy batch path (-stream-batch=false): it
+// materializes the whole request and the whole response in memory.
+// Retained as the reference the streaming path is byte-compared against
+// (scripts/batch_stream_smoke.sh) and as an escape hatch.
+func (s *server) handleBatchBuffered(ctx context.Context, w http.ResponseWriter, r *http.Request, proto *engine.Request) {
 	var raw []json.RawMessage
 	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeBatchTooLarge(w, -1, tooBig.Limit)
+			return
+		}
 		http.Error(w, fmt.Sprintf("batch body: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -298,15 +364,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("instance %d: %v", i, err), http.StatusBadRequest)
 			return
 		}
-		r := proto
+		r := *proto
 		r.Instance = in
 		ins[i], reqs[i] = in, &r
-	}
-	ctx := r.Context()
-	if deadline > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, deadline)
-		defer cancel()
 	}
 	resps, err := s.eng.SolveBatch(ctx, reqs)
 	if err != nil {
@@ -321,6 +381,140 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(out)
+}
+
+// batchBodyError marks a request-side decode failure inside the
+// streaming batch pipeline so the handler maps it to 400 (the client
+// sent a bad element) rather than 500.
+type batchBodyError struct{ err error }
+
+func (e *batchBodyError) Error() string { return e.err.Error() }
+func (e *batchBodyError) Unwrap() error { return e.err }
+
+// handleBatchStream is the default /solve/batch path: it decodes
+// instances off the request body one at a time, pipelines them through
+// the engine with a bounded in-flight window, and writes each
+// assignment as soon as it is solved. Memory stays proportional to the
+// window (and the largest single instance), not to the batch, while the
+// bytes on the wire are identical to handleBatchBuffered's encoder
+// output: "[\n  ", elements rendered by MarshalIndent at one indent
+// level, ",\n  " separators, "\n]\n".
+func (s *server) handleBatchStream(ctx context.Context, w http.ResponseWriter, r *http.Request, proto *engine.Request) {
+	// The pipeline reads the tail of the request body while writing the
+	// head of the response; without this the HTTP/1 server closes the
+	// body at the first write. Best-effort: HTTP/2 is always full
+	// duplex, and test recorders have no body lifecycle to manage.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	dec := json.NewDecoder(r.Body)
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('[') {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeBatchTooLarge(w, -1, tooBig.Limit)
+			return
+		}
+		if err == nil {
+			err = fmt.Errorf("expected a JSON array, got %v", tok)
+		}
+		http.Error(w, fmt.Sprintf("batch body: %v", err), http.StatusBadRequest)
+		return
+	}
+	win := s.batchInFlight
+	if win <= 0 {
+		win = 2*runtime.GOMAXPROCS(0) + 2
+	}
+	// The engine hands responses back in input order but without their
+	// instances; insq carries each decoded instance from next to emit in
+	// the same order. The decoder runs at most win+1 requests ahead of
+	// the emitter (the stream window is the bound), so the extra slack
+	// means sends below never block.
+	insq := make(chan *core.Instance, win+4)
+	idx := 0
+	next := func() (*engine.Request, error) {
+		if !dec.More() {
+			if _, err := dec.Token(); err != nil { // the closing ']'
+				return nil, &batchBodyError{fmt.Errorf("batch body: %w", err)}
+			}
+			return nil, io.EOF
+		}
+		in, err := instio.DecodeNext(dec)
+		if err != nil {
+			return nil, &batchBodyError{fmt.Errorf("instance %d: %w", idx, err)}
+		}
+		req := *proto
+		req.Instance = in
+		insq <- in
+		idx++
+		return &req, nil
+	}
+	started := false
+	emit := func(resp *engine.Response) error {
+		buf, err := json.MarshalIndent(assignmentJSON(<-insq, resp), "  ", "  ")
+		if err != nil {
+			return err
+		}
+		sep := ",\n  "
+		if !started {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			sep = "[\n  "
+			started = true
+		}
+		if _, err := io.WriteString(w, sep); err != nil {
+			return err
+		}
+		_, err = w.Write(buf)
+		return err
+	}
+	_, err := s.eng.SolveBatchStream(ctx, next, emit, win)
+	switch {
+	case err != nil && !started:
+		// Nothing is on the wire yet, so a real error response is still
+		// possible.
+		var tooBig *http.MaxBytesError
+		var bad *batchBodyError
+		switch {
+		case errors.As(err, &tooBig):
+			writeBatchTooLarge(w, -1, tooBig.Limit)
+		case errors.As(err, &bad):
+			http.Error(w, bad.Error(), http.StatusBadRequest)
+		default:
+			writeSolveError(w, err)
+		}
+	case err != nil:
+		// The 200 header and part of the array are already written; the
+		// only honest signal left is aborting the connection so the
+		// client sees a truncated body, never a parseable success.
+		panic(http.ErrAbortHandler)
+	case !started:
+		http.Error(w, "empty batch", http.StatusBadRequest)
+	default:
+		_, _ = io.WriteString(w, "\n]\n")
+	}
+}
+
+// batchErrorJSON is the typed body of request-level batch rejections
+// (today only 413): a machine-readable code plus the configured limit,
+// so clients can split the batch and retry instead of parsing prose.
+type batchErrorJSON struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+	Limit int64  `json:"limitBytes"`
+	Size  int64  `json:"sizeBytes,omitempty"`
+}
+
+func writeBatchTooLarge(w http.ResponseWriter, size, limit int64) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusRequestEntityTooLarge)
+	body := batchErrorJSON{
+		Error: "batch body exceeds the server's -max-batch-bytes limit",
+		Code:  "batch_too_large",
+		Limit: limit,
+	}
+	if size > 0 {
+		body.Size = size
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
 }
 
 func handleBackends(w http.ResponseWriter, r *http.Request) {

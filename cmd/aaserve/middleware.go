@@ -54,6 +54,11 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// Unwrap lets http.NewResponseController reach the server's writer
+// through the wrapper — the streaming batch handler needs
+// EnableFullDuplex, which only the real writer implements.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // withObservability wraps next with request IDs, traceparent
 // extraction/injection, the http.request span and the access log.
 func withObservability(log *slog.Logger, next http.Handler) http.Handler {

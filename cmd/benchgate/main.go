@@ -50,7 +50,13 @@ type Bench struct {
 
 // Snapshot is the JSON document benchgate emits and compares.
 type Snapshot struct {
-	Rev        string           `json:"rev"`
+	Rev string `json:"rev"`
+	// Procs is the GOMAXPROCS the benchmarks ran under (the suffix go
+	// test appends to every name), recorded so core-count-conditional
+	// gates — the n=10⁶ parallel-speedup floor — know whether this
+	// machine could exhibit the speedup at all. 0 in snapshots predating
+	// the field.
+	Procs      int              `json:"procs,omitempty"`
 	Benchmarks map[string]Bench `json:"benchmarks"`
 }
 
@@ -136,7 +142,10 @@ func parseBenchText(r *os.File, rev string) (*Snapshot, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		name := trimProcs(fields[0])
+		name, procs := splitProcs(fields[0])
+		if procs > snap.Procs {
+			snap.Procs = procs
+		}
 		// fields[1] is the iteration count; the rest are value/unit pairs.
 		b, ok := snap.Benchmarks[name], false
 		for i := 2; i+1 < len(fields); i += 2 {
@@ -158,17 +167,19 @@ func parseBenchText(r *os.File, rev string) (*Snapshot, error) {
 	return snap, sc.Err()
 }
 
-// trimProcs strips the -<GOMAXPROCS> suffix go test appends to benchmark
-// names, so snapshots from machines with different core counts share keys.
-func trimProcs(name string) string {
+// splitProcs strips the -<GOMAXPROCS> suffix go test appends to
+// benchmark names (so snapshots from machines with different core
+// counts share keys) and returns the core count it named, 0 if none.
+func splitProcs(name string) (string, int) {
 	i := strings.LastIndexByte(name, '-')
 	if i < 0 {
-		return name
+		return name, 0
 	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return name, 0
 	}
-	return name[:i]
+	return name[:i], procs
 }
 
 func loadSnapshot(path string) (*Snapshot, error) {
@@ -288,6 +299,28 @@ func assertSpeedups(cur *Snapshot) []string {
 		case base.NsPerOp <= 0 || wrapped.NsPerOp/base.NsPerOp > c.max:
 			errs = append(errs, fmt.Sprintf("%s is %.3fx of %s, ceiling is %gx",
 				c.wrapped, wrapped.NsPerOp/base.NsPerOp, c.base, c.max))
+		}
+	}
+	// The million-thread tier rides along when the snapshot carries it
+	// (the AA_BENCH_1M lane of bench_regress.sh): parallel Assign2 must
+	// be ≥2× serial at n=10⁶ — but only on ≥4 cores, where the chunked
+	// sorts have real parallelism to spend. Snapshots from smaller
+	// machines record the numbers without arming the floor, and a
+	// snapshot carrying only half the pair is malformed.
+	const (
+		bench1MSerial   = "BenchmarkAssign2Serial1M"
+		bench1MParallel = "BenchmarkAssign2Parallel1M"
+	)
+	ser, serOK := cur.Benchmarks[bench1MSerial]
+	par, parOK := cur.Benchmarks[bench1MParallel]
+	switch {
+	case serOK != parOK:
+		errs = append(errs, fmt.Sprintf("snapshot has only one of %s / %s", bench1MSerial, bench1MParallel))
+	case serOK && cur.Procs >= 4:
+		if par.NsPerOp <= 0 || ser.NsPerOp/par.NsPerOp < 2 {
+			errs = append(errs, fmt.Sprintf(
+				"%s is only %.2fx faster than %s on %d cores, floor is 2x",
+				bench1MParallel, ser.NsPerOp/par.NsPerOp, bench1MSerial, cur.Procs))
 		}
 	}
 	for _, name := range []string{

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkSolve-8", "BenchmarkSolve", 8},
+		{"BenchmarkSolve/fig1a-uniform/n=10000-4", "BenchmarkSolve/fig1a-uniform/n=10000", 4},
+		{"BenchmarkSolve", "BenchmarkSolve", 0},
+		{"BenchmarkAssign2Warm/n=10000", "BenchmarkAssign2Warm/n=10000", 0},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}
+
+// errsAbout filters assertSpeedups output down to the lines that
+// mention the million-thread tier.
+func errsAbout1M(errs []string) []string {
+	var out []string
+	for _, e := range errs {
+		if strings.Contains(e, "1M") {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestMillionFloorConditional: the n=10⁶ parallel-speedup floor arms
+// only when the snapshot carries the benchmark pair AND ≥4 cores; a
+// half-present pair is malformed regardless of core count.
+func TestMillionFloorConditional(t *testing.T) {
+	snap := func(procs int, serial, parallel float64) *Snapshot {
+		s := &Snapshot{Procs: procs, Benchmarks: map[string]Bench{}}
+		if serial > 0 {
+			s.Benchmarks["BenchmarkAssign2Serial1M"] = Bench{NsPerOp: serial}
+		}
+		if parallel > 0 {
+			s.Benchmarks["BenchmarkAssign2Parallel1M"] = Bench{NsPerOp: parallel}
+		}
+		return s
+	}
+	for _, tc := range []struct {
+		name    string
+		cur     *Snapshot
+		wantErr bool
+	}{
+		{"absent pair, no error", snap(8, 0, 0), false},
+		{"half pair is malformed", snap(1, 1e9, 0), true},
+		{"small machine records without arming", snap(2, 1e9, 9e8), false},
+		{"big machine, floor met", snap(8, 1e9, 4e8), false},
+		{"big machine, floor missed", snap(8, 1e9, 9e8), true},
+	} {
+		got := errsAbout1M(assertSpeedups(tc.cur))
+		if (len(got) > 0) != tc.wantErr {
+			t.Errorf("%s: 1M errors = %v, wantErr=%v", tc.name, got, tc.wantErr)
+		}
+	}
+}
+
+// TestParseBenchTextProcs: the emitted snapshot records the GOMAXPROCS
+// suffix even though the benchmark keys have it stripped.
+func TestParseBenchTextProcs(t *testing.T) {
+	tmp := t.TempDir() + "/bench.txt"
+	text := "goos: linux\nBenchmarkSolve-6   \t 100\t 12345 ns/op\t 0 allocs/op\nPASS\n"
+	if err := os.WriteFile(tmp, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := parseBenchText(f, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Procs != 6 {
+		t.Fatalf("Procs = %d, want 6", snap.Procs)
+	}
+	if b, ok := snap.Benchmarks["BenchmarkSolve"]; !ok || b.NsPerOp != 12345 {
+		t.Fatalf("benchmarks = %+v", snap.Benchmarks)
+	}
+}

@@ -74,14 +74,27 @@ func Concave(fs []utility.Func, budget float64) Result {
 	return ConcaveInto(nil, fs, budget)
 }
 
-// concaveScratch holds the per-solve working set of the pruned bisection.
-// Pooled so steady-state re-solves allocate nothing.
-type concaveScratch struct {
+// Scratch is the per-solve working set of the pruned bisection. The
+// package-level entry points borrow one from an internal pool;
+// ConcaveWith takes a caller-owned Scratch instead, so parallel solvers
+// can give every worker its own and keep pool traffic (and the cache
+// bouncing it implies) out of their hot loops. The zero value is ready
+// to use; buffers grow on first solve and are reused afterwards. A
+// Scratch is not safe for concurrent use.
+type Scratch struct {
 	caps   []float64
 	active []int
 }
 
-var concavePool = sync.Pool{New: func() any { return new(concaveScratch) }}
+// grow sizes the scratch for n threads, reusing prior capacity.
+func (sc *Scratch) grow(n int) {
+	if cap(sc.caps) < n {
+		sc.caps = make([]float64, n)
+		sc.active = make([]int, n)
+	}
+}
+
+var concavePool = sync.Pool{New: func() any { return new(Scratch) }}
 
 // ConcaveInto is Concave writing the allocation into dst (grown if its
 // capacity is short, so pass a slice with capacity >= len(fs) for an
@@ -95,6 +108,15 @@ var concavePool = sync.Pool{New: func() any { return new(concaveScratch) }}
 // interior at the optimum), which on capacity-tight workloads is a small
 // fraction of n.
 func ConcaveInto(dst []float64, fs []utility.Func, budget float64) Result {
+	sc := concavePool.Get().(*Scratch)
+	defer concavePool.Put(sc)
+	return ConcaveWith(sc, dst, fs, budget)
+}
+
+// ConcaveWith is ConcaveInto using a caller-owned Scratch instead of
+// the package pool — the parallel-solver form: one Scratch per worker
+// means concurrent solves share no state at all.
+func ConcaveWith(sc *Scratch, dst []float64, fs []utility.Func, budget float64) Result {
 	n := len(fs)
 	if cap(dst) >= n {
 		dst = dst[:n]
@@ -108,12 +130,7 @@ func ConcaveInto(dst []float64, fs []utility.Func, budget float64) Result {
 		return Result{Alloc: dst}
 	}
 
-	sc := concavePool.Get().(*concaveScratch)
-	defer concavePool.Put(sc)
-	if cap(sc.caps) < n {
-		sc.caps = make([]float64, n)
-		sc.active = make([]int, n)
-	}
+	sc.grow(n)
 	caps := sc.caps[:n]
 	active := sc.active[:0]
 

@@ -46,12 +46,9 @@ func ConcaveWarmInto(dst []float64, fs []utility.Func, budget, lambdaHint float6
 		return Result{Alloc: dst}
 	}
 
-	sc := concavePool.Get().(*concaveScratch)
+	sc := concavePool.Get().(*Scratch)
 	defer concavePool.Put(sc)
-	if cap(sc.caps) < n {
-		sc.caps = make([]float64, n)
-		sc.active = make([]int, n)
-	}
+	sc.grow(n)
 	caps := sc.caps[:n]
 	active := sc.active[:0]
 

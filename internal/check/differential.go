@@ -171,13 +171,27 @@ func (rep *DiffReport) checkInstance(where string, in *core.Instance, r *rng.Ran
 		}
 	}
 
+	// Parallel-path differential: the chunked-sort + sharded-heap
+	// Assign2 must reproduce the serial path bit for bit, the same
+	// contract the Assign1 fast/ref pair carries above.
+	a2 := core.Assign2Linearized(in, gs)
+	parA2 := core.Assign2LinearizedParallel(in, gs)
+	for i := range a2.Server {
+		if parA2.Server[i] != a2.Server[i] || parA2.Alloc[i] != a2.Alloc[i] {
+			rep.note(where+"/a2-parallel", record(fmt.Errorf(
+				"%w: thread %d: parallel Assign2 (server %d, alloc %v) != serial (server %d, alloc %v)",
+				ErrDifferential, i, parA2.Server[i], parA2.Alloc[i], a2.Server[i], a2.Alloc[i])))
+			break
+		}
+	}
+
 	solvers := []struct {
 		label      string
 		a          core.Assignment
 		guaranteed bool // proven α lower bound
 	}{
 		{"a1", fastA1, true},
-		{"a2", core.Assign2Linearized(in, gs), true},
+		{"a2", a2, true},
 		{"gm", core.AssignGreedyMarginal(in), false},
 		{"uu", core.AssignUU(in), false},
 		{"ur", core.AssignUR(in, r), false},

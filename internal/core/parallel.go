@@ -1,0 +1,395 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel Assign2 (ROADMAP item 4). Above a size threshold the
+// assignment phase fans its two stable sorts out over GOMAXPROCS
+// workers — per-chunk sort.Stable with the same concrete sorters the
+// serial path uses, then pairwise stable merges — and serves from a
+// sharded server heap at large m. The result is byte-identical to the
+// serial path by construction:
+//
+//   - A stable sort under a given strict weak order has exactly one
+//     result, so chunked-sort-then-stable-merge and sort.Stable produce
+//     the same permutation (ties resolve to input order in both).
+//   - The serve loop itself stays sequential (each grant depends on all
+//     prior heap state); the sharded heap replays serverHeap's exact
+//     comparison/swap sequence in a different layout, and the
+//     saturation fast-forward only skips updateTop calls that provably
+//     cannot move the heap.
+//
+// Telemetry counters are accumulated in per-chunk/per-task locals and
+// flushed once per solve — no shared atomics inside parallel loops.
+
+// DefaultParallelThreshold is the instance size at which Assign2
+// switches to the parallel path when more than one CPU is available.
+const DefaultParallelThreshold = 1 << 16
+
+// minParallelChunk keeps sort chunks large enough that goroutine
+// fan-out overhead stays negligible against the chunk sort itself.
+const minParallelChunk = 1 << 12
+
+var parallelThresholdOverride atomic.Int64
+
+// ParallelThreshold returns the minimum instance size for the parallel
+// Assign2 path: the override set by SetParallelThreshold, or the
+// GOMAXPROCS-aware default (DefaultParallelThreshold, or "never" on a
+// single-CPU process, where extra goroutines cannot help).
+func ParallelThreshold() int {
+	if v := parallelThresholdOverride.Load(); v > 0 {
+		return int(v)
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		return math.MaxInt
+	}
+	return DefaultParallelThreshold
+}
+
+// SetParallelThreshold overrides the parallel-path threshold: instances
+// with n >= threshold take the parallel Assign2 path. n <= 0 restores
+// the GOMAXPROCS-aware default; math.MaxInt disables the path.
+func SetParallelThreshold(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelThresholdOverride.Store(int64(n))
+}
+
+// parfor runs f(task) for every task in [0, tasks), fanning out over at
+// most workers goroutines with a static assignment (worker w takes
+// tasks w, w+workers, ...). Tasks must write disjoint state; every
+// parallel region in this package does, so scheduling order is
+// unobservable and the overall result deterministic.
+func parfor(tasks, workers int, f func(task int)) {
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers <= 1 {
+		for t := 0; t < tasks; t++ {
+			f(t)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for t := w; t < tasks; t += workers {
+				f(t)
+			}
+		}(w)
+	}
+	for t := 0; t < tasks; t += workers {
+		f(t)
+	}
+	wg.Wait()
+}
+
+// sortKind names which of the serial sorters a parallel sort mirrors.
+type sortKind int
+
+const (
+	sortByUHat  sortKind = iota // uhatSorter: g(ĉ) nonincreasing
+	sortBySlope                 // tailSorter: g(ĉ)/ĉ nonincreasing
+	sortByCHat                  // tailSorter{byCHat}: ĉ nonincreasing
+)
+
+// The merge comparators. Each mirrors the corresponding sorter's Less
+// exactly (same fields, same strict >); the type parameter lets the
+// compiler devirtualize the call in the merge inner loop.
+type lessAt interface {
+	less(gs []Linearized, x, y int) bool
+}
+
+type uhatLess struct{}
+
+func (uhatLess) less(gs []Linearized, x, y int) bool { return gs[x].UHat > gs[y].UHat }
+
+type slopeLess struct{}
+
+func (slopeLess) less(gs []Linearized, x, y int) bool { return gs[x].Slope() > gs[y].Slope() }
+
+type chatLess struct{}
+
+func (chatLess) less(gs []Linearized, x, y int) bool { return gs[x].CHat > gs[y].CHat }
+
+// mergeOrdered stably merges sorted runs a and b into dst
+// (len(dst) == len(a)+len(b)): take from a unless b's head is strictly
+// less — under "Less = greater" comparators that means equal keys keep
+// a's (earlier) elements first, exactly sort.Stable's tie rule. Returns
+// the number of comparisons for the sort-comparison telemetry.
+func mergeOrdered[L lessAt](dst, a, b []int, gs []Linearized) uint64 {
+	var less L
+	var cmps uint64
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		cmps++
+		if less.less(gs, b[j], a[i]) {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
+	return cmps
+}
+
+// sortChunksFor picks the chunk count (a power of two) for a parallel
+// sort of n keys: enough chunks to feed every worker, but never so many
+// that chunks drop below minParallelChunk. force (tests, the forced
+// entry point) ignores the size floor so small instances still exercise
+// the full chunk/merge machinery.
+func sortChunksFor(n, workers int, force bool) int {
+	maxChunks := 1
+	for maxChunks < workers {
+		maxChunks <<= 1
+	}
+	if force && maxChunks < 4 {
+		maxChunks = 4
+	}
+	chunks := 1
+	for chunks < maxChunks && (force || n/(chunks*2) >= minParallelChunk) {
+		chunks <<= 1
+	}
+	return chunks
+}
+
+// parallelStableSort stably sorts order under the kind's comparator
+// using chunked parallel merge sort, returning the comparison count.
+// The permutation is identical to sort.Stable with the corresponding
+// workspace sorter (see the package comment above).
+func (w *Workspace) parallelStableSort(order []int, gs []Linearized, kind sortKind, workers int, force bool) uint64 {
+	n := len(order)
+	if n < 2 {
+		return 0
+	}
+	chunks := sortChunksFor(n, workers, force)
+	if chunks == 1 {
+		switch kind {
+		case sortByUHat:
+			w.byUHat = uhatSorter{order: order, gs: gs}
+			sort.Stable(&w.byUHat)
+			return w.byUHat.cmps
+		case sortBySlope:
+			w.byTail = tailSorter{order: order, gs: gs}
+			sort.Stable(&w.byTail)
+			return w.byTail.cmps
+		default:
+			w.byTail = tailSorter{order: order, gs: gs, byCHat: true}
+			sort.Stable(&w.byTail)
+			return w.byTail.cmps
+		}
+	}
+
+	if cap(w.sortScratch) >= n {
+		w.sortScratch = w.sortScratch[:n]
+	} else {
+		w.sortScratch = make([]int, n)
+	}
+	if cap(w.parUHat) >= chunks {
+		w.parUHat = w.parUHat[:chunks]
+	} else {
+		w.parUHat = make([]uhatSorter, chunks)
+	}
+	if cap(w.parTail) >= chunks {
+		w.parTail = w.parTail[:chunks]
+	} else {
+		w.parTail = make([]tailSorter, chunks)
+	}
+	if cap(w.taskCmps) >= chunks {
+		w.taskCmps = w.taskCmps[:chunks]
+	} else {
+		w.taskCmps = make([]uint64, chunks)
+	}
+
+	size := (n + chunks - 1) / chunks
+	// Phase 1: sort each chunk with the serial path's concrete sorters,
+	// one sorter (and comparison counter) per chunk.
+	parfor(chunks, workers, func(k int) {
+		lo, hi := k*size, (k+1)*size
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		sub := order[lo:hi]
+		switch kind {
+		case sortByUHat:
+			s := &w.parUHat[k]
+			*s = uhatSorter{order: sub, gs: gs}
+			sort.Stable(s)
+		case sortBySlope:
+			s := &w.parTail[k]
+			*s = tailSorter{order: sub, gs: gs}
+			sort.Stable(s)
+		default:
+			s := &w.parTail[k]
+			*s = tailSorter{order: sub, gs: gs, byCHat: true}
+			sort.Stable(s)
+		}
+	})
+	var cmps uint64
+	for k := 0; k < chunks; k++ {
+		if kind == sortByUHat {
+			cmps += w.parUHat[k].cmps
+		} else {
+			cmps += w.parTail[k].cmps
+		}
+	}
+
+	// Phase 2: pairwise stable merges, ping-ponging between order and
+	// the scratch buffer. Each merge task writes a disjoint dst range
+	// and its comparison count to its own taskCmps slot.
+	src, dst := order, w.sortScratch
+	for width := size; width < n; width *= 2 {
+		pairs := (n + 2*width - 1) / (2 * width)
+		parfor(pairs, workers, func(p int) {
+			lo := p * 2 * width
+			mid, hi := lo+width, lo+2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			var c uint64
+			switch kind {
+			case sortByUHat:
+				c = mergeOrdered[uhatLess](dst[lo:hi], src[lo:mid], src[mid:hi], gs)
+			case sortBySlope:
+				c = mergeOrdered[slopeLess](dst[lo:hi], src[lo:mid], src[mid:hi], gs)
+			default:
+				c = mergeOrdered[chatLess](dst[lo:hi], src[lo:mid], src[mid:hi], gs)
+			}
+			w.taskCmps[p] = c
+		})
+		for p := 0; p < pairs; p++ {
+			cmps += w.taskCmps[p]
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &order[0] {
+		copy(order, src)
+	}
+	return cmps
+}
+
+// residualHeap is what the parallel serve loop needs from a server
+// heap; serverHeap and shardedServerHeap both satisfy it.
+type residualHeap interface {
+	peek() serverEntry
+	updateTop(newResidual float64)
+	swapCount() int
+}
+
+// Assign2LinearizedParallel runs Algorithm 2's parallel path
+// unconditionally, regardless of the threshold — the entry point the
+// byte-identity tests, fuzzers and benchmarks use. Production callers
+// go through Assign2Linearized and let the threshold decide.
+func Assign2LinearizedParallel(in *Instance, gs []Linearized) Assignment {
+	w := GetWorkspace()
+	defer PutWorkspace(w)
+	var out Assignment
+	w.assign2Parallel(in, gs, TailBySlope, &out, true)
+	return out
+}
+
+// assign2Parallel is the parallel twin of Workspace.assign2: same
+// lines, same output bytes, different execution strategy. force runs
+// the full chunk/merge/shard machinery even on small instances.
+func (w *Workspace) assign2Parallel(in *Instance, gs []Linearized, tailOrder TailOrder, out *Assignment, force bool) {
+	start := stageStart()
+	n, m := in.N(), in.M
+	out.Reset(n)
+	workers := runtime.GOMAXPROCS(0)
+
+	// Line 1: order all threads by g_i(ĉ_i), nonincreasing.
+	if cap(w.order) >= n {
+		w.order = w.order[:n]
+	} else {
+		w.order = make([]int, n)
+	}
+	order := w.order
+	for i := range order {
+		order[i] = i
+	}
+	sortCmps := w.parallelStableSort(order, gs, sortByUHat, workers, force)
+	// Line 2: re-sort the tail (threads m+1..n in that ordering).
+	if n > m {
+		switch tailOrder {
+		case TailBySlope:
+			sortCmps += w.parallelStableSort(order[m:], gs, sortBySlope, workers, force)
+		case TailByCHatDesc:
+			sortCmps += w.parallelStableSort(order[m:], gs, sortByCHat, workers, force)
+		case TailByUHat:
+			// Keep the line-1 ordering.
+		}
+	}
+
+	// Lines 3–4: max-heap of residual server capacities; the sharded
+	// layout once m is large enough for parallel reset and shard-local
+	// sift-downs to matter (force lowers the bar so tests cross it).
+	var h residualHeap
+	if m >= shardedHeapMinM || (force && m >= 2) {
+		tl := shardedTopLevels
+		if m < shardedHeapMinM {
+			tl = 1 // tiny heap: a 1-entry merge region still exercises shard crossings
+		}
+		w.hs.reset(m, in.C, tl, workers)
+		h = &w.hs
+	} else {
+		w.h2.reset(m, in.C)
+		h = &w.h2
+	}
+
+	// Lines 5–10: serve threads in order from the fullest server. The
+	// loop is inherently sequential, but once the fullest server hits
+	// residual 0 every server is at 0 (the top of a max-heap bounds the
+	// rest, and residuals never go negative), so each remaining thread
+	// with ĉ > 0 gets (top.id, +0) and updateTop(0) cannot swap under
+	// strict >: fast-forward those without touching the heap. Threads
+	// with ĉ <= 0 still take the general path — a negative ĉ would
+	// return resource to the server, and ±0 must keep its sign bit.
+	k := 0
+	for k < n {
+		i := order[k]
+		srv := h.peek()
+		if srv.residual == 0 && gs[i].CHat > 0 {
+			for ; k < n && gs[order[k]].CHat > 0; k++ {
+				out.Server[order[k]] = srv.id
+				// out.Alloc stays the +0 Reset wrote, as the serial
+				// path's min(ĉ, 0) would.
+			}
+			continue
+		}
+		amount := gs[i].CHat
+		if amount > srv.residual {
+			amount = srv.residual
+		}
+		out.Server[i] = srv.id
+		out.Alloc[i] = amount
+		h.updateTop(srv.residual - amount)
+		k++
+	}
+
+	if !start.IsZero() {
+		metricAssign2Calls.Inc()
+		metricAssign2SortCmps.Add(sortCmps)
+		// Same accounting as the serial path: one updateTop per thread
+		// (fast-forwarded ones performed zero swaps) plus every swap.
+		metricAssign2HeapOps.Add(uint64(n) + uint64(h.swapCount()))
+		stageEnd(start, metricAssign2Seconds, "core.assign2", w.span, n)
+	}
+}

@@ -1,0 +1,48 @@
+package core_test
+
+// Byte-identity of the parallel Assign2 path against the serial path
+// across the six figure workload distributions — the same acceptance
+// property the Assign1 fast path carries (fastpath_figures_test.go):
+// multi-core execution may change the wall clock, not a single output
+// bit. Real generated instances complement the adversarial-tie
+// white-box tests in parallel_test.go.
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"aa/internal/check"
+	"aa/internal/core"
+	"aa/internal/gen"
+	"aa/internal/rng"
+)
+
+func TestAssign2ParallelMatchesSerialFigureCorpus(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	base := rng.New(2024)
+	for wi, w := range check.FigureWorkloads() {
+		for _, shape := range []struct{ m, n int }{
+			{1, 9}, {4, 3}, {8, 40}, {8, 300}, {3, 120}, {8, 2000}, {64, 1000},
+		} {
+			r := base.SplitPath(uint64(wi), uint64(shape.m), uint64(shape.n))
+			in, err := gen.Instance(w.Dist, shape.m, 100, shape.n, r)
+			if err != nil {
+				t.Fatalf("%s: gen.Instance: %v", w.Name, err)
+			}
+			so := core.SuperOptimal(in)
+			gs := core.Linearize(in, so)
+			serial := core.Assign2Linearized(in, gs)
+			par := core.Assign2LinearizedParallel(in, gs)
+			for i := range serial.Server {
+				if par.Server[i] != serial.Server[i] ||
+					math.Float64bits(par.Alloc[i]) != math.Float64bits(serial.Alloc[i]) {
+					t.Fatalf("%s m=%d n=%d thread %d: parallel (%d,%v) != serial (%d,%v)",
+						w.Name, shape.m, shape.n, i,
+						par.Server[i], par.Alloc[i], serial.Server[i], serial.Alloc[i])
+				}
+			}
+		}
+	}
+}

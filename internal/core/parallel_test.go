@@ -1,0 +1,257 @@
+package core
+
+// White-box byte-identity tests for the parallel Assign2 path: the
+// chunked merge sort must reproduce sort.Stable's permutation exactly
+// (including adversarial tie patterns, where stability is the whole
+// contract), and assign2Parallel must reproduce assign2's output bits
+// on hand-crafted linearizations the generator corpus cannot produce —
+// equal g(ĉ) everywhere, equal residuals, saturated heaps, zero and
+// negative ĉ.
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"testing"
+
+	"aa/internal/rng"
+	"aa/internal/utility"
+)
+
+// withProcs runs f with GOMAXPROCS pinned to procs, so parfor really
+// fans out even on a single-CPU test machine (goroutines timeshare; the
+// identity properties don't care about true parallelism).
+func withProcs(t *testing.T, procs int, f func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+// tieGS builds adversarial linearizations: keys drawn from a tiny value
+// set so the sorts see long runs of equal g(ĉ), equal slopes and equal
+// ĉ, and the serve loop sees equal residuals.
+func tieGS(n int, seed uint64) []Linearized {
+	r := rng.New(seed)
+	uhats := []float64{1, 1, 1, 2, 5}
+	chats := []float64{10, 10, 20, 40, 0}
+	gs := make([]Linearized, n)
+	for i := range gs {
+		gs[i] = Linearized{
+			UHat: uhats[r.Intn(len(uhats))],
+			CHat: chats[r.Intn(len(chats))],
+			C:    100,
+		}
+	}
+	return gs
+}
+
+func TestParallelStableSortMatchesSortStable(t *testing.T) {
+	kinds := []sortKind{sortByUHat, sortBySlope, sortByCHat}
+	for _, n := range []int{0, 1, 2, 3, 17, 100, 1000, 5000} {
+		for _, seed := range []uint64{1, 2, 3} {
+			gs := tieGS(n, seed)
+			for _, kind := range kinds {
+				for _, workers := range []int{1, 2, 4, 7} {
+					want := make([]int, n)
+					for i := range want {
+						want[i] = i
+					}
+					switch kind {
+					case sortByUHat:
+						sort.Stable(&uhatSorter{order: want, gs: gs})
+					case sortBySlope:
+						sort.Stable(&tailSorter{order: want, gs: gs})
+					case sortByCHat:
+						sort.Stable(&tailSorter{order: want, gs: gs, byCHat: true})
+					}
+					got := make([]int, n)
+					for i := range got {
+						got[i] = i
+					}
+					w := NewWorkspace()
+					w.parallelStableSort(got, gs, kind, workers, true)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("n=%d seed=%d kind=%d workers=%d: position %d: got %d, want %d",
+								n, seed, kind, workers, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// assertSameAssignment compares two assignments bit for bit: same
+// servers, same allocation float bits (±0 included).
+func assertSameAssignment(t *testing.T, label string, got, want Assignment) {
+	t.Helper()
+	if len(got.Server) != len(want.Server) {
+		t.Fatalf("%s: length %d != %d", label, len(got.Server), len(want.Server))
+	}
+	for i := range want.Server {
+		if got.Server[i] != want.Server[i] ||
+			math.Float64bits(got.Alloc[i]) != math.Float64bits(want.Alloc[i]) {
+			t.Fatalf("%s: thread %d: parallel (%d,%v) != serial (%d,%v)",
+				label, i, got.Server[i], got.Alloc[i], want.Server[i], want.Alloc[i])
+		}
+	}
+}
+
+// runBoth solves the same hand-crafted linearization through the serial
+// and forced-parallel assign2 bodies and asserts byte-identity, across
+// every tail ordering.
+func runBoth(t *testing.T, label string, m int, c float64, gs []Linearized) {
+	t.Helper()
+	in := &Instance{M: m, C: c, Threads: make([]utility.Func, len(gs))}
+	for i := range in.Threads {
+		in.Threads[i] = utility.Linear{Slope: 1, C: c}
+	}
+	for _, tailOrder := range []TailOrder{TailBySlope, TailByUHat, TailByCHatDesc} {
+		ws, wp := NewWorkspace(), NewWorkspace()
+		var serial, par Assignment
+		ws.assign2(in, gs, tailOrder, &serial)
+		wp.assign2Parallel(in, gs, tailOrder, &par, true)
+		assertSameAssignment(t, label, par, serial)
+		// Heap-op telemetry parity: the fast-forward must not change the
+		// swap accounting.
+		if sw, pw := ws.h2.swaps, heapSwaps(wp, m); sw != pw {
+			t.Fatalf("%s tail=%d: serial swaps %d != parallel swaps %d", label, tailOrder, sw, pw)
+		}
+	}
+}
+
+// heapSwaps reads the swap counter of whichever heap the parallel body
+// used for m servers.
+func heapSwaps(w *Workspace, m int) int {
+	if m >= 2 {
+		return w.hs.swaps
+	}
+	return w.h2.swaps
+}
+
+func TestAssign2ParallelAdversarialTies(t *testing.T) {
+	withProcs(t, 4, func() {
+		// Long runs of equal keys in every field.
+		for _, n := range []int{1, 2, 7, 64, 500, 3000} {
+			for _, m := range []int{1, 2, 3, 8, 64} {
+				runBoth(t, "ties", m, 100, tieGS(n, uint64(n*31+m)))
+			}
+		}
+		// All threads identical: the sorts are pure stability tests and
+		// every serve step ties on residuals.
+		same := make([]Linearized, 1000)
+		for i := range same {
+			same[i] = Linearized{UHat: 3, CHat: 25, C: 100}
+		}
+		runBoth(t, "identical", 7, 100, same)
+		// Saturation: total demand far beyond cluster capacity, so the
+		// heap hits all-zero residuals early and the fast-forward covers
+		// most of the order.
+		sat := make([]Linearized, 2000)
+		for i := range sat {
+			sat[i] = Linearized{UHat: float64(i % 5), CHat: 90, C: 100}
+		}
+		runBoth(t, "saturated", 3, 100, sat)
+		// Zero, negative-zero and negative ĉ sprinkled through a
+		// saturating workload: the fast-forward must fall back to the
+		// general path for them (a negative ĉ refills the server; ±0
+		// must keep its sign bit in the output).
+		odd := make([]Linearized, 1500)
+		r := rng.New(99)
+		for i := range odd {
+			odd[i] = Linearized{UHat: 1, CHat: 80, C: 100}
+			switch r.Intn(10) {
+			case 0:
+				odd[i].CHat = 0
+			case 1:
+				odd[i].CHat = math.Copysign(0, -1)
+			case 2:
+				odd[i].CHat = -5
+			}
+		}
+		runBoth(t, "odd-chat", 4, 100, odd)
+	})
+}
+
+// TestAssign2ParallelShardedHeapPath forces server counts past the
+// sharded-heap threshold so the full-size layout (topLevels = 6) serves
+// real traffic, not just the shrunken test layout.
+func TestAssign2ParallelShardedHeapPath(t *testing.T) {
+	withProcs(t, 4, func() {
+		for _, m := range []int{shardedHeapMinM, shardedHeapMinM + 1, 3000} {
+			gs := tieGS(4*m, uint64(m))
+			runBoth(t, "big-m", m, 50, gs)
+		}
+	})
+}
+
+// TestAssign2ThresholdGate checks the production gate: below the
+// threshold Assign2Linearized runs the serial body, at or above it the
+// parallel body, and both give the same bytes.
+func TestAssign2ThresholdGate(t *testing.T) {
+	withProcs(t, 4, func() {
+		gs := tieGS(4000, 7)
+		in := &Instance{M: 8, C: 100, Threads: make([]utility.Func, len(gs))}
+		for i := range in.Threads {
+			in.Threads[i] = utility.Linear{Slope: 1, C: 100}
+		}
+		defer SetParallelThreshold(0)
+
+		SetParallelThreshold(math.MaxInt)
+		serial := Assign2Linearized(in, gs)
+		SetParallelThreshold(1)
+		par := Assign2Linearized(in, gs)
+		assertSameAssignment(t, "gate", par, serial)
+
+		SetParallelThreshold(0)
+		if runtime.GOMAXPROCS(0) < 2 {
+			t.Fatalf("withProcs did not raise GOMAXPROCS")
+		}
+		if got := ParallelThreshold(); got != DefaultParallelThreshold {
+			t.Fatalf("default threshold = %d, want %d", got, DefaultParallelThreshold)
+		}
+	})
+}
+
+// TestAssign2ParallelConcurrentSolves runs forced-parallel solves from
+// several goroutines at once — under -race this asserts the telemetry
+// satellite: no shared counters inside the parallel loops.
+func TestAssign2ParallelConcurrentSolves(t *testing.T) {
+	withProcs(t, 4, func() {
+		gs := tieGS(5000, 13)
+		in := &Instance{M: 16, C: 100, Threads: make([]utility.Func, len(gs))}
+		for i := range in.Threads {
+			in.Threads[i] = utility.Linear{Slope: 1, C: 100}
+		}
+		want := Assign2Linearized(in, gs)
+		done := make(chan Assignment, 8)
+		for g := 0; g < 8; g++ {
+			go func() { done <- Assign2LinearizedParallel(in, gs) }()
+		}
+		for g := 0; g < 8; g++ {
+			assertSameAssignment(t, "concurrent", <-done, want)
+		}
+	})
+}
+
+func TestSortChunksFor(t *testing.T) {
+	// Small inputs stay serial unless forced; large inputs split up to
+	// the worker count rounded to a power of two.
+	if got := sortChunksFor(1000, 8, false); got != 1 {
+		t.Fatalf("small input: %d chunks, want 1", got)
+	}
+	if got := sortChunksFor(1<<20, 8, false); got != 8 {
+		t.Fatalf("large input: %d chunks, want 8", got)
+	}
+	if got := sortChunksFor(1<<20, 6, false); got != 8 {
+		t.Fatalf("odd workers: %d chunks, want 8", got)
+	}
+	if got := sortChunksFor(100, 1, true); got != 4 {
+		t.Fatalf("forced: %d chunks, want 4", got)
+	}
+	if got := sortChunksFor(1<<20, 2, false); got != 2 {
+		t.Fatalf("two workers: %d chunks, want 2", got)
+	}
+}

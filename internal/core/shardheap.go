@@ -1,0 +1,220 @@
+package core
+
+// shardedServerHeap is serverHeap re-laid-out for huge server counts:
+// the same abstract binary max-heap, stored as the first topLevels
+// levels in one small array (the merge region) plus one contiguous
+// array per depth-topLevels subtree (the shards). Every subtree of a
+// complete binary tree is itself a complete binary tree, so each shard
+// uses the standard 2i+1/2i+2 layout internally and the abstract
+// parent/child relation is preserved exactly.
+//
+// Determinism: peek and updateTop visit the same abstract nodes and
+// perform the same strict-> comparisons and swaps as serverHeap on the
+// same operation sequence — only the memory addresses differ — so the
+// two heaps are byte-identical in observable behavior (peeked entries,
+// final contents, swap counts) by construction. The layout buys two
+// things at large m: reset fills independent shard arrays in parallel,
+// and a sift-down touches one small shard instead of striding across
+// the whole entry array.
+type shardedServerHeap struct {
+	top      []serverEntry   // abstract nodes [0, len(top))
+	shards   [][]serverEntry // shard s: subtree rooted at abstract len(top)+s
+	shardBuf []serverEntry   // backing storage shards slice into
+	m        int
+	swaps    int // sift-down swaps, matching serverHeap.swaps exactly
+}
+
+// shardedHeapMinM is the server count above which the parallel assign2
+// path switches from the plain serverHeap to the sharded layout. Below
+// it the whole heap fits comfortably in cache and sharding buys nothing.
+const shardedHeapMinM = 2048
+
+// shardedTopLevels is the default depth of the merge region: 2^6-1 = 63
+// top entries and 64 shards, enough fan-out for any realistic worker
+// count during the parallel reset.
+const shardedTopLevels = 6
+
+// subtreeSize counts the nodes of the subtree rooted at abstract node r
+// in a complete binary tree of m nodes.
+func subtreeSize(r, m int) int {
+	if r >= m {
+		return 0
+	}
+	size, lo, hi := 0, r, r
+	for lo < m {
+		last := hi
+		if last > m-1 {
+			last = m - 1
+		}
+		size += last - lo + 1
+		lo, hi = 2*lo+1, 2*hi+2
+	}
+	return size
+}
+
+// reset refills the heap with m servers at residual c, reusing storage.
+// topLevels sets the merge-region depth (tests shrink it to exercise
+// shard crossings at small m); workers bounds the parallel shard fill.
+func (h *shardedServerHeap) reset(m int, c float64, topLevels, workers int) {
+	topLen := 1<<topLevels - 1
+	if topLen > m {
+		topLen = m
+	}
+	if cap(h.top) >= topLen {
+		h.top = h.top[:topLen]
+	} else {
+		h.top = make([]serverEntry, topLen)
+	}
+	rest := m - topLen
+	if cap(h.shardBuf) >= rest {
+		h.shardBuf = h.shardBuf[:rest]
+	} else {
+		h.shardBuf = make([]serverEntry, rest)
+	}
+	numShards := 0
+	if rest > 0 {
+		numShards = topLen + 1
+		if numShards > rest {
+			numShards = rest // only roots < m have nonempty subtrees
+		}
+	}
+	if cap(h.shards) >= numShards {
+		h.shards = h.shards[:numShards]
+	} else {
+		h.shards = make([][]serverEntry, numShards)
+	}
+	off := 0
+	for s := 0; s < numShards; s++ {
+		size := subtreeSize(topLen+s, m)
+		h.shards[s] = h.shardBuf[off : off+size]
+		off += size
+	}
+	h.m = m
+	h.swaps = 0
+
+	// Task 0 fills the merge region, task s+1 fills shard s; every task
+	// writes a disjoint range, so the parallel fill is deterministic.
+	parfor(numShards+1, workers, func(task int) {
+		if task == 0 {
+			for a := range h.top {
+				h.top[a] = serverEntry{id: a, residual: c}
+			}
+			return
+		}
+		s := task - 1
+		sh := h.shards[s]
+		// Row d of the subtree rooted at r spans abstract nodes
+		// [(r+1)<<d - 1, ...) and local nodes [2^d - 1, ...); both rows
+		// are contiguous, so the fill walks row by row.
+		localBase, absBase, width := 0, topLen+s, 1
+		for localBase < len(sh) {
+			cnt := len(sh) - localBase
+			if cnt > width {
+				cnt = width
+			}
+			for q := 0; q < cnt; q++ {
+				sh[localBase+q] = serverEntry{id: absBase + q, residual: c}
+			}
+			localBase += width
+			absBase = 2*absBase + 1
+			width <<= 1
+		}
+	})
+}
+
+// at returns the entry at abstract node a — the same entry
+// serverHeap.entries[a] would hold after the same operation sequence.
+func (h *shardedServerHeap) at(a int) serverEntry {
+	topLen := len(h.top)
+	if a < topLen {
+		return h.top[a]
+	}
+	// Walk up to find the shard root this node descends from: the
+	// ancestor at depth shardedTopLevels. Only tests and the residual
+	// accessor use this; the hot path never does.
+	x, depth := a, 0
+	for x >= 2*topLen+1 {
+		x = (x - 1) / 2
+		depth++
+	}
+	s := x - topLen
+	// Local index: in 1-based binary, replace the shard-root prefix of
+	// the abstract index with a leading 1.
+	li := (a + 1) - (x+1)<<depth + 1<<depth - 1
+	return h.shards[s][li]
+}
+
+// peek returns the server with the most remaining resource.
+func (h *shardedServerHeap) peek() serverEntry { return h.top[0] }
+
+func (h *shardedServerHeap) swapCount() int { return h.swaps }
+
+// updateTop replaces the top's residual and restores the heap property,
+// with exactly serverHeap.updateTop's comparison and swap sequence.
+func (h *shardedServerHeap) updateTop(newResidual float64) {
+	top, topLen, m := h.top, len(h.top), h.m
+	top[0].residual = newResidual
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		bestV := top[largest].residual
+		if l < m {
+			if v := h.rootOrTop(l, topLen); v > bestV {
+				largest, bestV = l, v
+			}
+		}
+		if r < m {
+			if v := h.rootOrTop(r, topLen); v > bestV {
+				largest, bestV = r, v
+			}
+		}
+		if largest == i {
+			return
+		}
+		if largest < topLen {
+			top[i], top[largest] = top[largest], top[i]
+			h.swaps++
+			i = largest
+			continue
+		}
+		// The sift-down crosses from the merge region into a shard:
+		// swap with the shard root, then finish entirely inside it.
+		s := largest - topLen
+		sh := h.shards[s]
+		top[i], sh[0] = sh[0], top[i]
+		h.swaps++
+		h.siftShard(sh)
+		return
+	}
+}
+
+// rootOrTop reads abstract node a's residual: a merge-region entry or a
+// shard root (the only out-of-region nodes updateTop's walk can see).
+func (h *shardedServerHeap) rootOrTop(a, topLen int) float64 {
+	if a < topLen {
+		return h.top[a].residual
+	}
+	return h.shards[a-topLen][0].residual
+}
+
+// siftShard restores the heap property inside one shard, local layout.
+func (h *shardedServerHeap) siftShard(sh []serverEntry) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(sh) && sh[l].residual > sh[largest].residual {
+			largest = l
+		}
+		if r < len(sh) && sh[r].residual > sh[largest].residual {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		sh[i], sh[largest] = sh[largest], sh[i]
+		h.swaps++
+		i = largest
+	}
+}

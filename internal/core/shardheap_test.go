@@ -1,0 +1,122 @@
+package core
+
+// Operation-level parity of shardedServerHeap against serverHeap: the
+// blocked layout must replay the serial heap's peeks, swaps and final
+// abstract contents exactly, for every shape (tiny heaps, boundary
+// sizes around the merge region, ragged last rows, full-size shards).
+
+import (
+	"testing"
+
+	"aa/internal/rng"
+)
+
+func TestSubtreeSize(t *testing.T) {
+	for m := 1; m <= 300; m++ {
+		// Brute force: count descendants of r by walking every node's
+		// ancestor chain.
+		for r := 0; r < m; r++ {
+			want := 0
+			for x := 0; x < m; x++ {
+				for a := x; ; a = (a - 1) / 2 {
+					if a == r {
+						want++
+						break
+					}
+					if a == 0 {
+						break
+					}
+				}
+			}
+			if got := subtreeSize(r, m); got != want {
+				t.Fatalf("subtreeSize(%d, %d) = %d, want %d", r, m, got, want)
+			}
+		}
+	}
+}
+
+func TestShardedHeapMatchesSerial(t *testing.T) {
+	shapes := []struct{ m, topLevels int }{
+		{1, 1}, {2, 1}, {3, 1}, {4, 1}, {7, 2}, {8, 2}, {15, 3}, {16, 3},
+		{63, 6}, {64, 6}, {100, 3}, {127, 6}, {128, 6}, {200, 4},
+		{2048, 6}, {2049, 6}, {5000, 6},
+	}
+	for _, sh := range shapes {
+		const c = 64.0
+		r := rng.New(uint64(sh.m*8 + sh.topLevels))
+		ref := newServerHeap(sh.m, c)
+		var sharded shardedServerHeap
+		sharded.reset(sh.m, c, sh.topLevels, 4)
+
+		// Reset parity: every abstract slot identical.
+		for a := 0; a < sh.m; a++ {
+			if sharded.at(a) != ref.entries[a] {
+				t.Fatalf("m=%d T=%d: reset slot %d: %+v != %+v",
+					sh.m, sh.topLevels, a, sharded.at(a), ref.entries[a])
+			}
+		}
+
+		ops := 4 * sh.m
+		if ops > 4000 {
+			ops = 4000
+		}
+		for op := 0; op < ops; op++ {
+			if sharded.peek() != ref.peek() {
+				t.Fatalf("m=%d T=%d op %d: peek %+v != %+v",
+					sh.m, sh.topLevels, op, sharded.peek(), ref.peek())
+			}
+			// Mostly shrink the top (the serve loop's move), sometimes
+			// to a tying value to exercise equal-residual sift-downs.
+			top := ref.peek().residual
+			var next float64
+			switch r.Intn(8) {
+			case 0:
+				next = 0
+			case 1:
+				next = top // no-op update
+			case 2:
+				next = top + 1 // grow (a negative-ĉ serve refills the server)
+			default:
+				next = top * float64(r.Intn(16)) / 16
+			}
+			ref.updateTop(next)
+			sharded.updateTop(next)
+			if ref.swaps != sharded.swaps {
+				t.Fatalf("m=%d T=%d op %d: swaps %d != %d",
+					sh.m, sh.topLevels, op, sharded.swaps, ref.swaps)
+			}
+		}
+		for a := 0; a < sh.m; a++ {
+			if sharded.at(a) != ref.entries[a] {
+				t.Fatalf("m=%d T=%d: final slot %d: %+v != %+v",
+					sh.m, sh.topLevels, a, sharded.at(a), ref.entries[a])
+			}
+		}
+	}
+}
+
+// TestShardedHeapReuse re-resets a grown heap at a smaller size: the
+// sliced-down storage must not leak stale entries into the new shape.
+func TestShardedHeapReuse(t *testing.T) {
+	var h shardedServerHeap
+	h.reset(5000, 10, 6, 4)
+	for i := 0; i < 100; i++ {
+		h.updateTop(h.peek().residual / 2)
+	}
+	h.reset(37, 3, 2, 1)
+	ref := newServerHeap(37, 3)
+	for a := 0; a < 37; a++ {
+		if h.at(a) != ref.entries[a] {
+			t.Fatalf("slot %d after shrink: %+v != %+v", a, h.at(a), ref.entries[a])
+		}
+	}
+	r := rng.New(5)
+	for op := 0; op < 200; op++ {
+		if h.peek() != ref.peek() {
+			t.Fatalf("op %d: peek %+v != %+v", op, h.peek(), ref.peek())
+		}
+		next := ref.peek().residual * float64(r.Intn(8)) / 8
+		ref.updateTop(next)
+		h.updateTop(next)
+	}
+}

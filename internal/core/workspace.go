@@ -26,12 +26,23 @@ type Workspace struct {
 	soAlloc []float64
 	soValue []float64
 	gs      []Linearized
+	allocSc alloc.Scratch // λ-bisection working set, owned per workspace
 
 	// Algorithm 2 scratch.
 	order  []int
 	h2     serverHeap
 	byUHat uhatSorter
 	byTail tailSorter
+
+	// Parallel Assign2 scratch (parallel.go): the merge ping-pong
+	// buffer, per-chunk sorters (each with its own comparison counter),
+	// per-merge-task counters, and the sharded server heap. Pooled with
+	// the workspace so steady-state parallel solves reuse them.
+	sortScratch []int
+	parUHat     []uhatSorter
+	parTail     []tailSorter
+	taskCmps    []uint64
+	hs          shardedServerHeap
 
 	// Algorithm 1 fast-path scratch.
 	a1servers []serverEntry
@@ -93,10 +104,10 @@ func (w *Workspace) capFuncs(in *Instance) []utility.Func {
 // superOptimalWith is the shared super-optimal implementation: both the
 // allocating package-level SuperOptimal and the buffer-reusing Workspace
 // method funnel here, so their numerics are identical by construction.
-func superOptimalWith(in *Instance, fs []utility.Func, allocDst, valueDst []float64, parent telemetry.SpanContext) SuperOpt {
+func superOptimalWith(in *Instance, fs []utility.Func, sc *alloc.Scratch, allocDst, valueDst []float64, parent telemetry.SpanContext) SuperOpt {
 	start := stageStart()
 	budget := float64(in.M) * in.C
-	res := alloc.ConcaveInto(allocDst, fs, budget)
+	res := alloc.ConcaveWith(sc, allocDst, fs, budget)
 	n := len(fs)
 	if cap(valueDst) >= n {
 		valueDst = valueDst[:n]
@@ -118,7 +129,7 @@ func superOptimalWith(in *Instance, fs []utility.Func, allocDst, valueDst []floa
 // SuperOptimal is the workspace variant of the package-level SuperOptimal;
 // the returned SuperOpt aliases workspace buffers.
 func (w *Workspace) SuperOptimal(in *Instance) SuperOpt {
-	so := superOptimalWith(in, w.capFuncs(in), w.soAlloc, w.soValue, w.span)
+	so := superOptimalWith(in, w.capFuncs(in), &w.allocSc, w.soAlloc, w.soValue, w.span)
 	w.soAlloc, w.soValue = so.Alloc, so.Value
 	return so
 }

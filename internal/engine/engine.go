@@ -42,6 +42,8 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"io"
 	"math"
 	"sync"
 
@@ -387,6 +389,115 @@ func (e *Engine) SolveBatch(ctx context.Context, reqs []*Request) ([]*Response, 
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// SolveBatchStream pipelines an unbounded request stream through the
+// engine's pool with bounded memory: decode → solve → emit overlap,
+// with at most maxInFlight requests (plus the one being decoded) alive
+// at once, responses emitted strictly in input order, and the first
+// failure — in input order, whether it came from next, a solve, or
+// emit — cancelling every outstanding solve. It returns the number of
+// responses emitted alongside that first error, so a caller that has
+// already written output knows the stream is torn. Cancelling ctx tears
+// the stream down too and is always reported as ctx.Err(), never as a
+// clean completion, even when every in-flight solve had finished.
+//
+// next yields the requests one at a time and io.EOF to end the stream;
+// a mid-stream next error takes the slot of the request it failed to
+// produce, so every response before it is still emitted first. next and
+// emit are never called concurrently with themselves, but next runs
+// concurrently with emit — decoding the tail of a stream while the head
+// solves is the point. maxInFlight <= 0 selects 2×workers+2, enough to
+// keep every pool worker busy while the next responses drain.
+func (e *Engine) SolveBatchStream(ctx context.Context, next func() (*Request, error), emit func(*Response) error, maxInFlight int) (int, error) {
+	p, err := e.lazyPool()
+	if err != nil {
+		return 0, err
+	}
+	if maxInFlight <= 0 {
+		maxInFlight = 2*p.Workers() + 2
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Each slot is one input position; the bounded channel is both the
+	// in-order hand-off and the in-flight window: the producer blocks
+	// once maxInFlight slots are undrained.
+	type slot struct {
+		resp *Response
+		err  error
+		done chan struct{}
+	}
+	window := make(chan *slot, maxInFlight)
+	prodDone := make(chan struct{})
+	go func() {
+		defer close(prodDone)
+		defer close(window)
+		for bctx.Err() == nil {
+			req, err := next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					s := &slot{err: err, done: make(chan struct{})}
+					close(s.done)
+					select {
+					case window <- s:
+					case <-bctx.Done():
+					}
+				}
+				return
+			}
+			s := &slot{done: make(chan struct{})}
+			select {
+			case window <- s:
+			case <-bctx.Done():
+				return
+			}
+			if err := p.Enqueue(bctx, func(tctx context.Context) error {
+				s.resp, s.err = e.Solve(tctx, req)
+				close(s.done)
+				return s.err
+			}); err != nil {
+				s.err = err
+				close(s.done)
+			}
+		}
+	}()
+
+	// fail tears the stream down and joins the producer before
+	// returning, so next is guaranteed not to be called (and not to be
+	// mid-call) once SolveBatchStream has returned — callers hand next a
+	// request body they must not touch after their handler exits.
+	fail := func(err error) error {
+		cancel()
+		<-prodDone
+		return err
+	}
+	emitted := 0
+	for s := range window {
+		// The select below races s.done against ctx.Done() and may pick
+		// either when both are ready, so cancellation must also be
+		// checked deterministically: a cancelled stream never reports
+		// clean completion, even if every in-flight slot had solved.
+		if err := ctx.Err(); err != nil {
+			return emitted, fail(err)
+		}
+		select {
+		case <-s.done:
+		case <-ctx.Done():
+			return emitted, fail(ctx.Err())
+		}
+		if s.err != nil {
+			return emitted, fail(s.err)
+		}
+		if err := emit(s.resp); err != nil {
+			return emitted, fail(err)
+		}
+		emitted++
+	}
+	if err := ctx.Err(); err != nil {
+		return emitted, fail(err)
+	}
+	return emitted, nil
 }
 
 // Close drains and stops the engine's pool, if one was ever started,

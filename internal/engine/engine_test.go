@@ -254,6 +254,10 @@ func TestSolveBatch(t *testing.T) {
 // fixture) plus one queue slot leaves at most two of eight submissions
 // accepted.
 func TestSubmitBackpressure(t *testing.T) {
+	// Re-arm the release channel: a previous run (-count>1) closed it,
+	// and close of a closed channel panics. Safe unsynchronized — every
+	// prior handler returned before its run's drain loop finished.
+	testBlock = make(chan struct{})
 	eng := New(Options{Workers: 1, QueueDepth: 1})
 	errs := make(chan error, 8)
 	for i := 0; i < 8; i++ {

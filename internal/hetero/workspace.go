@@ -28,6 +28,7 @@ type Workspace struct {
 	slopes   []float64
 	residual []float64
 	sorter   keyDescSorter
+	allocSc  alloc.Scratch
 }
 
 // keyDescSorter stably orders an index slice by descending key without
@@ -64,7 +65,7 @@ func (w *Workspace) SuperOptimal(in *Instance) core.SuperOpt {
 		w.capped[i] = capped{f: f, c: c}
 		w.fs[i] = &w.capped[i]
 	}
-	res := alloc.ConcaveInto(w.soAlloc, w.fs, in.TotalCap())
+	res := alloc.ConcaveWith(&w.allocSc, w.soAlloc, w.fs, in.TotalCap())
 	w.soAlloc = res.Alloc
 	so := core.SuperOpt{Alloc: res.Alloc, Value: w.soValue, Total: res.Total}
 	for i := range w.fs {

@@ -196,8 +196,16 @@ func Encode(w io.Writer, in *core.Instance) error {
 
 // Decode reads an instance from JSON and validates it.
 func Decode(r io.Reader) (*core.Instance, error) {
+	return DecodeNext(json.NewDecoder(r))
+}
+
+// DecodeNext decodes one instance from an existing json.Decoder and
+// validates it — the streaming form of Decode: a caller walking a JSON
+// array with dec.Token/dec.More pulls instances off the wire one at a
+// time without buffering the enclosing document.
+func DecodeNext(dec *json.Decoder) (*core.Instance, error) {
 	var ij instanceJSON
-	if err := json.NewDecoder(r).Decode(&ij); err != nil {
+	if err := dec.Decode(&ij); err != nil {
 		return nil, fmt.Errorf("instio: %w", err)
 	}
 	in := &core.Instance{M: ij.M, C: ij.C, Threads: make([]utility.Func, len(ij.Threads))}

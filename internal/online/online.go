@@ -43,6 +43,12 @@ const (
 	Drift                    // a thread's utility is re-measured
 	Fail                     // a server goes down (Event.ID is a server index)
 	Recover                  // a failed server comes back (Event.ID is a server index)
+	// ArriveBatch admits many threads at one instant (Event.Batch holds
+	// the per-thread ids and utilities; Event.ID is -1). It models a
+	// fleet spin-up — the million-thread regime where admitting threads
+	// one event at a time would drown the timeline in bookkeeping — and
+	// triggers exactly one policy reaction for the whole cohort.
+	ArriveBatch
 )
 
 // String names the kind for reports and errors.
@@ -58,18 +64,28 @@ func (k EventKind) String() string {
 		return "fail"
 	case Recover:
 		return "recover"
+	case ArriveBatch:
+		return "arrive-batch"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
 
 // Event is one timeline entry. Events must be sorted by Time. For Fail
-// and Recover the ID is a server index; for the other kinds it is a
-// thread identity.
+// and Recover the ID is a server index; for ArriveBatch it is -1 and
+// Batch carries the cohort; for the other kinds it is a thread identity.
 type Event struct {
 	Time float64
 	Kind EventKind
-	ID   int          // thread identity (server index for Fail/Recover)
+	ID   int          // thread identity (server index for Fail/Recover, -1 for ArriveBatch)
 	Util utility.Func // for Arrive and Drift
+	// Batch is the ArriveBatch cohort, in ascending-id order.
+	Batch []BatchArrival
+}
+
+// BatchArrival is one thread of an ArriveBatch cohort.
+type BatchArrival struct {
+	ID   int
+	Util utility.Func
 }
 
 // Placement is one thread's current server and allocation.
@@ -109,6 +125,7 @@ type State struct {
 		dst     []float64
 		up      []int // ascending indices of up servers
 		upIdx   []int // real server index -> position in up, -1 when down
+		allocSc alloc.Scratch
 	}
 }
 
@@ -317,7 +334,7 @@ func (s *State) reallocServer(j int) {
 		scr.capped[k] = cappedAt{f: f, c: minFloat(f.Cap(), s.C)}
 		scr.fs[k] = &scr.capped[k]
 	}
-	res := alloc.ConcaveInto(scr.dst, scr.fs, s.C)
+	res := alloc.ConcaveWith(&scr.allocSc, scr.dst, scr.fs, s.C)
 	scr.dst = res.Alloc
 	for k, id := range scr.members {
 		s.Place[id] = Placement{Server: j, Alloc: res.Alloc[k]}
@@ -469,8 +486,38 @@ func (Incremental) React(s *State, ev Event) []int {
 	case Recover:
 		// Nothing to rebalance: the recovered server starts empty and
 		// fills from future arrivals.
+	case ArriveBatch:
+		s.placeBatch(ev.Batch)
 	}
 	return nil
+}
+
+// placeBatch spreads a cohort of new threads over the up servers:
+// each thread (in batch order) lands on the currently least-loaded
+// server, charged at its capped demand as the load estimate, then every
+// touched server re-allocates once. Placing at alloc 0 without the
+// estimate would stack the whole cohort on one server — the estimate is
+// what makes a million-thread spin-up come out balanced.
+func (s *State) placeBatch(batch []BatchArrival) {
+	loads := s.Loads()
+	touched := map[int]bool{}
+	for _, ba := range batch {
+		best := s.leastLoadedUp(loads)
+		if best < 0 {
+			return // no server up; Validate reports the unplaced threads
+		}
+		s.Place[ba.ID] = Placement{Server: best, Alloc: 0}
+		loads[best] += minFloat(ba.Util.Cap(), s.C)
+		touched[best] = true
+	}
+	order := make([]int, 0, len(touched))
+	for j := range touched {
+		order = append(order, j)
+	}
+	sort.Ints(order)
+	for _, j := range order {
+		s.reallocServer(j)
+	}
 }
 
 // evacuate moves every thread off the failed server j onto the
@@ -633,6 +680,19 @@ func SimulateOpts(m int, c float64, events []Event, policy Policy, opts Options)
 				return Result{}, fmt.Errorf("online: server %d recovered while up", ev.ID)
 			}
 			s.SetServerDown(ev.ID, false)
+		case ArriveBatch:
+			if len(ev.Batch) == 0 {
+				return Result{}, fmt.Errorf("online: empty arrival batch at t=%v", ev.Time)
+			}
+			for _, ba := range ev.Batch {
+				if ba.Util == nil {
+					return Result{}, fmt.Errorf("online: batch arrival %d without utility", ba.ID)
+				}
+				if _, exists := s.Threads[ba.ID]; exists {
+					return Result{}, fmt.Errorf("online: duplicate arrival %d", ba.ID)
+				}
+				s.Threads[ba.ID] = ba.Util
+			}
 		default:
 			return Result{}, fmt.Errorf("online: unknown event kind %v", ev.Kind)
 		}

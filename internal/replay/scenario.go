@@ -44,6 +44,14 @@ type Scenario struct {
 	// fraction of the super-optimal bound; 0 means the paper's α.
 	HybridThreshold float64 `json:"hybridThreshold,omitempty"`
 
+	// InitialThreads, when positive, opens the trace with a single
+	// ArriveBatch event at t=0 admitting that many threads at once — the
+	// bigfleet regime (10⁵–10⁶ standing threads) where per-thread arrival
+	// events would dwarf the rest of the timeline. Initial threads
+	// persist to the horizon; the Poisson arrival process layers churn on
+	// top, its ids starting at InitialThreads.
+	InitialThreads int `json:"initialThreads,omitempty"`
+
 	Utility  UtilitySpec  `json:"utility"`
 	Arrivals ArrivalSpec  `json:"arrivals"`
 	Lifetime LifetimeSpec `json:"lifetime"`
@@ -231,6 +239,9 @@ func (sc *Scenario) Validate() error {
 	if sc.HybridThreshold < 0 || sc.HybridThreshold > 1 {
 		return fmt.Errorf("replay: scenario %q: hybridThreshold %g outside [0,1]", sc.Name, sc.HybridThreshold)
 	}
+	if sc.InitialThreads < 0 {
+		return fmt.Errorf("replay: scenario %q: initialThreads %d, need >= 0", sc.Name, sc.InitialThreads)
+	}
 	if _, err := sc.Utility.dist(); err != nil {
 		return err
 	}
@@ -332,7 +343,11 @@ func Load(path string) (*Scenario, error) {
 //   - diurnal: a day of sinusoidal load against a mid-size cluster,
 //   - flash: flat load punctured by two flash-crowd bursts,
 //   - failures: steady load with correlated failure/recovery episodes,
-//   - churn: short-lived threads with heavy drift under the hybrid policy.
+//   - churn: short-lived threads with heavy drift under the hybrid policy,
+//   - bigfleet: a standing fleet of 2×10⁵ threads admitted in one batch
+//     at t=0 with light churn on top — the million-thread regime the
+//     parallel Assign2 path exists for (every full re-solve crosses the
+//     parallel threshold).
 var builtins = []Scenario{
 	{
 		Name: "diurnal", Servers: 6, Capacity: 1000, Horizon: 86400,
@@ -379,6 +394,17 @@ var builtins = []Scenario{
 		Arrivals:  ArrivalSpec{BaseRate: 0.1},
 		Lifetime:  LifetimeSpec{Mean: 120},
 		DriftRate: 0.05,
+	},
+	{
+		Name: "bigfleet", Servers: 64, Capacity: 1000, Horizon: 240,
+		Policy:         "full-resolve",
+		InitialThreads: 200_000,
+		Utility:        UtilitySpec{Dist: "powerlaw"},
+		Arrivals:       ArrivalSpec{BaseRate: 0.25},
+		Lifetime:       LifetimeSpec{Mean: 600},
+		// One virtual solver crunching 2×10⁵ threads: keep the virtual
+		// service time sub-second so churn events don't queue unboundedly.
+		SolveCost: 1e-6,
 	},
 }
 

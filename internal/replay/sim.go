@@ -23,6 +23,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"sort"
 	"time"
 
 	"aa/internal/cache"
@@ -389,8 +390,14 @@ func maxOf(xs []float64) float64 {
 
 // sortInts is a tiny insertion sort: the hook's id slice is nearly
 // sorted between events, and avoiding sort.Ints keeps the hook free of
-// interface conversions on the hot path.
+// interface conversions on the hot path. Large slices (a bigfleet batch
+// arrives in arbitrary map order) fall back to sort.Ints — insertion
+// sort would go quadratic on 10⁵+ unsorted ids.
 func sortInts(xs []int) {
+	if len(xs) > 256 {
+		sort.Ints(xs)
+		return
+	}
 	for i := 1; i < len(xs); i++ {
 		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
 			xs[j], xs[j-1] = xs[j-1], xs[j]

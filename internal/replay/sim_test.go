@@ -51,6 +51,12 @@ func shrink(t *testing.T, name string) *Scenario {
 		sc.Failures.MTBF /= 8
 		sc.Failures.MTTR /= 8
 	}
+	// A bigfleet's 2×10⁵-thread batch would dominate every test run;
+	// 500 threads still exercises the batch machinery end to end (the
+	// full-size fleet runs under TestBigfleetFullSize, env-guarded).
+	if sc.InitialThreads > 500 {
+		sc.InitialThreads = 500
+	}
 	sc.GridPoints = 24
 	if err := sc.Validate(); err != nil {
 		t.Fatalf("shrunken %s invalid: %v", name, err)

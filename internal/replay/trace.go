@@ -25,6 +25,7 @@ const (
 	streamUtilities = 3 // per-thread utility curves (split again by id)
 	streamFailures  = 4 // failure episodes: gaps, groups, durations
 	streamDrift     = 5 // drift times, victims and re-measured curves
+	streamInitial   = 6 // initial-fleet utility curves (split again by id)
 )
 
 // TraceStats counts what a generated (or loaded) trace contains.
@@ -36,6 +37,9 @@ type TraceStats struct {
 	Failures    int `json:"failures"`
 	Recoveries  int `json:"recoveries"`
 	PeakThreads int `json:"peakThreads"`
+	// Batches counts ArriveBatch events; their cohort members are
+	// included in Arrivals.
+	Batches int `json:"batches,omitempty"`
 }
 
 // Trace expands the scenario into its event timeline under the seed.
@@ -53,15 +57,35 @@ func Trace(sc *Scenario, seed uint64) ([]online.Event, TraceStats, error) {
 	base := rng.New(seed)
 	var events []online.Event
 
+	type span struct{ arrive, depart float64 }
+	var spans []span
+	id := 0
+
+	// The initial fleet: one ArriveBatch at t=0 admitting InitialThreads
+	// threads that persist to the horizon (their spans stay open so the
+	// drift process can pick them as victims). Churn ids start above.
+	if k := sc.InitialThreads; k > 0 {
+		init := base.SplitPath(streamInitial)
+		batch := make([]online.BatchArrival, k)
+		for i := 0; i < k; i++ {
+			f, err := genThread(dist, sc.Capacity, init.Split(uint64(i)))
+			if err != nil {
+				return nil, TraceStats{}, fmt.Errorf("replay: initial thread %d utility: %w", i, err)
+			}
+			batch[i] = online.BatchArrival{ID: i, Util: f}
+			spans = append(spans, span{arrive: 0, depart: sc.Horizon + 1})
+		}
+		events = append(events, online.Event{Time: 0, Kind: online.ArriveBatch, ID: -1, Batch: batch})
+		id = k
+	}
+
 	// Arrivals via Poisson thinning against λmax, with an exponential
 	// lifetime and a three-point PCHIP utility per thread.
 	arr := base.SplitPath(streamArrivals)
 	life := base.SplitPath(streamLifetimes)
 	util := base.SplitPath(streamUtilities)
 	lambdaMax := sc.Arrivals.maxRate()
-	type span struct{ arrive, depart float64 }
-	var spans []span
-	t, id := 0.0, 0
+	t := 0.0
 	for {
 		t += arr.Exponential(lambdaMax)
 		if t >= sc.Horizon {
@@ -162,6 +186,15 @@ type distSampler interface {
 	Sample(r *rng.Rand) float64
 }
 
+// curveVW reconstructs the paper's three-point PCHIP utility through
+// (0,0), (C/2, v), (C, v+w) from recorded curve parameters.
+func curveVW(c, v, w float64) (utility.Func, error) {
+	if w > v {
+		v, w = w, v
+	}
+	return utility.NewSampled([]float64{0, c / 2, c}, []float64{0, v, v + w})
+}
+
 // sortEvents orders the timeline by (time, kind, id): arrivals precede
 // same-instant departures, and failures precede the recoveries of a
 // later episode never (episodes are gap-separated by construction).
@@ -204,6 +237,13 @@ func statsOf(events []online.Event, horizon float64) TraceStats {
 			st.Failures++
 		case online.Recover:
 			st.Recoveries++
+		case online.ArriveBatch:
+			st.Batches++
+			st.Arrivals += len(ev.Batch)
+			live += len(ev.Batch)
+			if live > st.PeakThreads {
+				st.PeakThreads = live
+			}
 		}
 	}
 	return st
@@ -233,13 +273,23 @@ type TraceFile struct {
 }
 
 // TraceEvent is one recorded event. Kind is "arrive", "depart",
-// "drift", "fail" or "recover"; arrive/drift carry V and W.
+// "drift", "fail", "recover" or "arrive-batch"; arrive/drift carry V
+// and W, arrive-batch carries Batch instead of ID.
 type TraceEvent struct {
 	T    float64 `json:"t"`
 	Kind string  `json:"kind"`
 	ID   int     `json:"id"`
 	V    float64 `json:"v,omitempty"`
 	W    float64 `json:"w,omitempty"`
+	// Batch holds an arrive-batch cohort's per-thread curve parameters.
+	Batch []TraceThread `json:"batch,omitempty"`
+}
+
+// TraceThread is one member of a recorded arrive-batch cohort.
+type TraceThread struct {
+	ID int     `json:"id"`
+	V  float64 `json:"v"`
+	W  float64 `json:"w,omitempty"`
 }
 
 // LoadTrace reads a recorded trace file and expands it into a scenario
@@ -288,17 +338,26 @@ func DecodeTrace(r io.Reader) (*Scenario, []online.Event, error) {
 			} else {
 				ev.Kind = online.Drift
 			}
-			v, w := te.V, te.W
-			if w > v {
-				v, w = w, v
-			}
-			f, err := utility.NewSampled(
-				[]float64{0, tf.Capacity / 2, tf.Capacity},
-				[]float64{0, v, v + w})
+			f, err := curveVW(tf.Capacity, te.V, te.W)
 			if err != nil {
 				return nil, nil, fmt.Errorf("event %d: utility(v=%g, w=%g): %w", i, te.V, te.W, err)
 			}
 			ev.Util = f
+		case "arrive-batch":
+			if len(te.Batch) == 0 {
+				return nil, nil, fmt.Errorf("event %d: arrive-batch without members", i)
+			}
+			ev.Kind = online.ArriveBatch
+			ev.ID = -1
+			ev.Batch = make([]online.BatchArrival, len(te.Batch))
+			for k, tt := range te.Batch {
+				f, err := curveVW(tf.Capacity, tt.V, tt.W)
+				if err != nil {
+					return nil, nil, fmt.Errorf("event %d: batch member %d: utility(v=%g, w=%g): %w",
+						i, tt.ID, tt.V, tt.W, err)
+				}
+				ev.Batch[k] = online.BatchArrival{ID: tt.ID, Util: f}
+			}
 		case "depart":
 			ev.Kind = online.Depart
 		case "fail":

@@ -33,12 +33,18 @@ func TestTraceWellFormed(t *testing.T) {
 	for _, name := range Builtins() {
 		t.Run(name, func(t *testing.T) {
 			sc, _ := Builtin(name)
+			if sc.InitialThreads > 10_000 {
+				sc.InitialThreads = 10_000 // keep generation fast; full size is env-guarded
+			}
 			events, st, err := Trace(sc, 7)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if st.Arrivals == 0 {
 				t.Fatal("trace has no arrivals")
+			}
+			if sc.InitialThreads > 0 && st.Batches != 1 {
+				t.Fatalf("initialThreads=%d produced %d batch events", sc.InitialThreads, st.Batches)
 			}
 			seenArrive := map[int]float64{}
 			down := map[int]bool{}
@@ -49,6 +55,19 @@ func TestTraceWellFormed(t *testing.T) {
 				}
 				last = ev.Time
 				switch ev.Kind {
+				case online.ArriveBatch:
+					if ev.ID != -1 {
+						t.Fatalf("batch event carries id %d, want -1", ev.ID)
+					}
+					for _, ba := range ev.Batch {
+						if _, dup := seenArrive[ba.ID]; dup {
+							t.Fatalf("duplicate arrival id %d (batch)", ba.ID)
+						}
+						if ba.Util == nil {
+							t.Fatalf("batch arrival %d without utility", ba.ID)
+						}
+						seenArrive[ba.ID] = ev.Time
+					}
 				case online.Arrive:
 					if _, dup := seenArrive[ev.ID]; dup {
 						t.Fatalf("duplicate arrival id %d", ev.ID)
@@ -146,6 +165,7 @@ func TestScenarioValidation(t *testing.T) {
 		{"zero lifetime", func(sc *Scenario) { sc.Lifetime.Mean = 0 }},
 		{"group too large", func(sc *Scenario) { sc.Failures = &FailureSpec{MTBF: 10, MTTR: 1, GroupSize: sc.Servers} }},
 		{"negative solve cost", func(sc *Scenario) { sc.SolveCost = -1 }},
+		{"negative initial threads", func(sc *Scenario) { sc.InitialThreads = -1 }},
 	}
 	for _, tc := range cases {
 		sc := base()
