@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmtcheck tidy-check race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke serve-smoke batch-smoke cache-smoke trace-smoke replay-smoke cover-floor staticcheck vulncheck bench-json bench-regress bench-1m ci bench figures examples cover clean
+.PHONY: all build test vet fmtcheck tidy-check race check-smoke fuzz-smoke bench-smoke telemetry-smoke metrics-smoke serve-smoke batch-smoke cache-smoke trace-smoke replay-smoke relay-smoke cover-floor staticcheck vulncheck bench-json bench-regress bench-1m ci bench figures examples cover clean
 
 all: build vet fmtcheck test
 
@@ -89,8 +89,17 @@ trace-smoke:
 replay-smoke:
 	./scripts/replay_smoke.sh
 
+# Cluster-tier check: three aaserve nodes behind an aarelay — failover
+# mid-replay with a byte-identical report and zero failed solves, node
+# recovery, shared relay cache, least-loaded shift off a saturated
+# node, 429 rate limiting, and one connected trace tree across client,
+# relay and nodes.
+relay-smoke:
+	./scripts/relay_smoke.sh
+
 # Statement-coverage floors for internal/replay, internal/online,
-# internal/telemetry and internal/cache.
+# internal/telemetry, internal/cache, internal/router and
+# internal/ratelimit.
 cover-floor:
 	./scripts/coverage_floor.sh
 
@@ -132,7 +141,7 @@ bench-1m:
 	AA_BENCH_1M=1 ./scripts/bench_regress.sh
 
 # Mirror of .github/workflows/ci.yml.
-ci: build vet fmtcheck tidy-check staticcheck vulncheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke bench-regress metrics-smoke serve-smoke batch-smoke cache-smoke trace-smoke replay-smoke cover-floor
+ci: build vet fmtcheck tidy-check staticcheck vulncheck race check-smoke fuzz-smoke bench-smoke telemetry-smoke bench-regress metrics-smoke serve-smoke batch-smoke cache-smoke trace-smoke replay-smoke relay-smoke cover-floor
 
 # One benchmark per paper figure/claim plus micro-benchmarks.
 bench:

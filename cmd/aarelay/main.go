@@ -1,0 +1,201 @@
+// Command aarelay fronts a set of aaserve nodes as one service: the
+// cluster tier of ROADMAP item 1. It routes /solve and streaming
+// /solve/batch across the configured nodes under a pluggable strategy,
+// admits clients through per-client token buckets, probes node health
+// (/readyz) and load (the aa_pool_queue_depth gauge from each node's
+// /metrics/history), fails /solve over to the next node on transport
+// errors and backpressure, and answers exact repeats from a relay-side
+// shared cache keyed by the canonical instance fingerprint.
+//
+// Usage:
+//
+//	aarelay -nodes host1:8080,host2:8080[,...] [-addr localhost:8090]
+//	        [-strategy least-loaded] [-probe-interval 1s]
+//	        [-rate 0] [-burst 0] [-max-body-bytes 1073741824]
+//	        [-drain-grace 0] [-metrics-addr host:port]
+//	        [-trace-out file.jsonl] [-profile-dir dir]
+//	        [-cache shared] [-cache-size 1024] [-cache-ttl 0]
+//	        [-cache-key secret]
+//
+// The -nodes list accepts "name=host:port*weight" entries (name and
+// weight optional). Strategies: round-robin, least-loaded (queue depth
+// + in-flight), weighted-failover (highest weight wins; standbys take
+// traffic only when every heavier node is out).
+//
+// Endpoints:
+//
+//	POST /solve           routed to one node, with failover and caching
+//	POST /solve/batch     streamed through one node (no mid-stream failover)
+//	GET  /nodes           JSON node-set snapshot (state, depth, in-flight)
+//	GET  /backends        proxied from the first ready node
+//	GET  /healthz         relay liveness
+//	GET  /readyz          relay readiness (503 once SIGTERM drain starts)
+//	GET  /metrics         the relay's own telemetry (plus /vars, /debug/*)
+//
+// Rate limiting: -rate N -burst B gives every client (keyed by remote
+// IP) a token bucket of B tokens refilling at N/s; exhausted buckets
+// answer 429 with a Retry-After header. -rate 0 disables limiting.
+//
+// Determinism contract: a /solve response is byte-identical no matter
+// which node served it (nodes run deterministic backends and encode
+// identically), so failover — and serving from the relay cache — is
+// observable only in latency, never in bytes. Traceparent propagates on
+// every forward: one traced replay through the relay yields a single
+// connected trace tree spanning client, relay and nodes.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	"aa/internal/cache"
+	"aa/internal/cliutil"
+	"aa/internal/ratelimit"
+	"aa/internal/router"
+	"aa/internal/serveutil"
+	"aa/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "aarelay: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// relay holds the routing, admission and caching state behind the
+// handlers.
+type relay struct {
+	rt      *router.Router
+	limiter *ratelimit.Limiter // nil = no rate limiting
+	cache   cache.Cache
+	client  *http.Client
+	log     *slog.Logger
+	health  *serveutil.Health
+
+	maxBodyBytes int64 // /solve body cap; <= 0 = unlimited
+}
+
+// run is the testable body of the command. ready, when non-nil,
+// receives the bound address once the listener is up.
+func run(args []string, stderr io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("aarelay", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "localhost:8090", "listen address (use :0 for an ephemeral port)")
+		nodes    = fs.String("nodes", "", "comma-separated aaserve nodes: [name=]host:port[*weight]")
+		strategy = fs.String("strategy", string(router.LeastLoaded),
+			"routing strategy: round-robin, least-loaded or weighted-failover")
+		probeInterval = fs.Duration("probe-interval", time.Second,
+			"node health/load probe interval")
+		rate         = fs.Float64("rate", 0, "per-client solve admission rate in requests/second (0 = unlimited)")
+		burst        = fs.Float64("burst", 0, "per-client admission burst (0 = 2x rate, min 1)")
+		maxBodyBytes = fs.Int64("max-body-bytes", 1<<30,
+			"reject /solve bodies larger than this (0 = unlimited)")
+		drainGrace = fs.Duration("drain-grace", 0,
+			"on SIGTERM, keep the listener open this long with /readyz already 503 (0 = drain immediately)")
+	)
+	var common cliutil.Common
+	common.AddFlags(fs)
+	var cacheFlags cliutil.CacheFlags
+	cacheFlags.AddFlags(fs)
+	if err := cliutil.Parse(fs, args, stderr); err != nil {
+		if errors.Is(err, cliutil.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *nodes == "" {
+		return errors.New("-nodes is required (comma-separated host:port list)")
+	}
+	nodeList, err := router.ParseNodes(*nodes)
+	if err != nil {
+		return err
+	}
+	strat, err := router.ParseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	shutdown, err := common.Start("aarelay", stderr)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+	// A serving process always meters itself (same contract as aaserve).
+	telemetry.Enable()
+
+	// The relay's cache is meaningful only in shared (keyed) mode:
+	// memory mode's unkeyed fingerprints must not be derived from
+	// untrusted cross-client bodies, so anything but off is upgraded.
+	if m := cache.Mode(cacheFlags.Mode); m != cache.ModeOff && m != "" && m != cache.ModeShared {
+		fmt.Fprintf(stderr, "aarelay: -cache %s upgraded to shared (relay caches are always keyed)\n", cacheFlags.Mode)
+		cacheFlags.Mode = string(cache.ModeShared)
+	}
+	relayCache, err := cacheFlags.Build()
+	if err != nil {
+		return err
+	}
+
+	rt, err := router.New(strat, nodeList)
+	if err != nil {
+		return err
+	}
+	rt.ProbeNow() // seed states/depths before the first request
+	rt.StartProber(*probeInterval)
+	defer rt.Stop()
+
+	var limiter *ratelimit.Limiter
+	if *rate > 0 {
+		b := *burst
+		if b <= 0 {
+			b = 2 * (*rate)
+			if b < 1 {
+				b = 1
+			}
+		}
+		limiter = ratelimit.NewLimiter(*rate, b, 0)
+	}
+
+	rl := &relay{
+		rt:      rt,
+		limiter: limiter,
+		cache:   relayCache,
+		client:  &http.Client{}, // no timeout: solve deadlines belong to the nodes
+		log:     slog.New(slog.NewJSONHandler(stderr, nil)),
+		health:  &serveutil.Health{},
+
+		maxBodyBytes: *maxBodyBytes,
+	}
+
+	return serveutil.ListenAndServe(serveutil.ServeConfig{
+		Name:       "aarelay",
+		Addr:       *addr,
+		Handler:    rl.mux(),
+		Stderr:     stderr,
+		Ready:      ready,
+		Health:     rl.health,
+		DrainGrace: *drainGrace,
+	})
+}
+
+// mux wires the relay handlers behind the shared observability layer.
+func (rl *relay) mux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", rl.handleSolve)
+	mux.HandleFunc("/solve/batch", rl.handleBatch)
+	mux.HandleFunc("/nodes", rl.handleNodes)
+	mux.HandleFunc("/backends", rl.handleBackends)
+	mux.HandleFunc("/healthz", rl.health.LivenessHandler())
+	mux.HandleFunc("/readyz", rl.health.ReadinessHandler())
+	mux.Handle("/", telemetry.Handler(telemetry.Default))
+	log := rl.log
+	if log == nil {
+		log = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	return serveutil.WithObservability(log, mux)
+}

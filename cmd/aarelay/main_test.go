@@ -1,0 +1,278 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aa/internal/engine"
+	"aa/internal/instio"
+)
+
+// demoInstance is a small 2-server instance in the instio wire format.
+const demoInstance = `{
+  "m": 2,
+  "c": 10,
+  "threads": [
+    {"kind": "linear", "slope": 1.5},
+    {"kind": "log", "scale": 2, "shift": 1},
+    {"kind": "linear", "slope": 0.5},
+    {"kind": "power", "scale": 1, "beta": 0.5}
+  ]
+}`
+
+// fakeNode is a minimal aaserve stand-in: a real /solve (through the
+// in-process engine), /readyz, and a solve counter for routing asserts.
+type fakeNode struct {
+	srv    *httptest.Server
+	solves atomic.Int64
+	busy   atomic.Bool // answer 429 on /solve when set
+}
+
+func newFakeNode(t *testing.T) *fakeNode {
+	t.Helper()
+	f := &fakeNode{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/solve", func(w http.ResponseWriter, r *http.Request) {
+		if f.busy.Load() {
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		in, err := instio.Decode(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := engine.Default().Solve(r.Context(), &engine.Request{Instance: in})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		f.solves.Add(1)
+		_ = instio.EncodeAssignment(w, in, resp.Assignment)
+	})
+	mux.HandleFunc("/solve/batch", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		io.WriteString(w, "[\n  {\"batch\": true}\n]\n")
+	})
+	mux.HandleFunc("/backends", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "assign2  fake registry\n")
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeNode) addr() string { return strings.TrimPrefix(f.srv.URL, "http://") }
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}
+
+// startRelay runs the real run() against the given extra flags and
+// returns the relay's bound address.
+func startRelay(t *testing.T, args ...string) string {
+	t.Helper()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	full := append([]string{"-addr", "127.0.0.1:0"}, args...)
+	go func() { done <- run(full, testWriter{t}, ready) }()
+	select {
+	case addr := <-ready:
+		return addr
+	case err := <-done:
+		t.Fatalf("relay exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("relay never became ready")
+	}
+	return ""
+}
+
+func postSolve(t *testing.T, addr, query string) (*http.Response, string) {
+	t.Helper()
+	url := "http://" + addr + "/solve" + query
+	resp, err := http.Post(url, "application/json", strings.NewReader(demoInstance))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestRelayRoutesAndFailsOver(t *testing.T) {
+	n1, n2 := newFakeNode(t), newFakeNode(t)
+	addr := startRelay(t, "-nodes", n1.addr()+","+n2.addr(), "-strategy", "round-robin",
+		"-probe-interval", "50ms")
+
+	resp, body := postSolve(t, addr, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve via relay = %d: %s", resp.StatusCode, body)
+	}
+	resp2, body2 := postSolve(t, addr, "")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second solve = %d", resp2.StatusCode)
+	}
+	// Determinism across nodes: round-robin sent the two requests to
+	// different nodes, yet the bytes must match.
+	if body != body2 {
+		t.Fatalf("responses differ across nodes:\n%s\n%s", body, body2)
+	}
+	if n1.solves.Load() == 0 || n2.solves.Load() == 0 {
+		t.Fatalf("round-robin did not spread: n1=%d n2=%d", n1.solves.Load(), n2.solves.Load())
+	}
+
+	// Kill n1: the very next request must fail over, not error.
+	n1.srv.Close()
+	for i := 0; i < 4; i++ {
+		resp3, body3 := postSolve(t, addr, "")
+		if resp3.StatusCode != http.StatusOK {
+			t.Fatalf("post-kill solve %d = %d: %s", i, resp3.StatusCode, body3)
+		}
+		if body3 != body {
+			t.Fatalf("post-kill response differs:\n%s\n%s", body3, body)
+		}
+	}
+
+	// /nodes reflects the failure.
+	nresp, err := http.Get("http://" + addr + "/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbody, _ := io.ReadAll(nresp.Body)
+	nresp.Body.Close()
+	if !strings.Contains(string(nbody), `"down"`) {
+		t.Fatalf("/nodes does not show the dead node: %s", nbody)
+	}
+}
+
+func TestRelayAllNodesBusy(t *testing.T) {
+	n1, n2 := newFakeNode(t), newFakeNode(t)
+	n1.busy.Store(true)
+	n2.busy.Store(true)
+	addr := startRelay(t, "-nodes", n1.addr()+","+n2.addr(), "-probe-interval", "1h")
+
+	resp, _ := postSolve(t, addr, "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("all-busy relay = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("all-busy 429 missing Retry-After")
+	}
+
+	// One node recovers: the spill finds it.
+	n2.busy.Store(false)
+	resp2, _ := postSolve(t, addr, "")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery solve = %d, want 200 (429 spill to healthy node)", resp2.StatusCode)
+	}
+	if n2.solves.Load() == 0 {
+		t.Fatal("healthy node never solved")
+	}
+}
+
+func TestRelayRateLimit(t *testing.T) {
+	n := newFakeNode(t)
+	addr := startRelay(t, "-nodes", n.addr(), "-rate", "0.5", "-burst", "2", "-probe-interval", "1h")
+
+	var limited *http.Response
+	for i := 0; i < 4; i++ {
+		resp, _ := postSolve(t, addr, "")
+		if resp.StatusCode == http.StatusTooManyRequests {
+			limited = resp
+			break
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d = %d", i, resp.StatusCode)
+		}
+	}
+	if limited == nil {
+		t.Fatal("burst of 2 at 0.5/s never hit the limiter in 4 requests")
+	}
+	ra := limited.Header.Get("Retry-After")
+	if ra == "" || ra == "0" {
+		t.Fatalf("429 Retry-After = %q, want a positive integral wait", ra)
+	}
+}
+
+func TestRelaySharedCacheExactHit(t *testing.T) {
+	n := newFakeNode(t)
+	addr := startRelay(t, "-nodes", n.addr(), "-cache", "shared", "-cache-key", "test-secret",
+		"-probe-interval", "1h")
+
+	_, first := postSolve(t, addr, "")
+	before := n.solves.Load()
+	_, second := postSolve(t, addr, "")
+	if n.solves.Load() != before {
+		t.Fatalf("repeat solve reached the node (solves %d -> %d); want relay cache hit",
+			before, n.solves.Load())
+	}
+	if first != second {
+		t.Fatalf("cache hit not byte-identical:\n%q\n%q", first, second)
+	}
+	// cache=bypass must reach the node again.
+	_, _ = postSolve(t, addr, "?cache=bypass")
+	if n.solves.Load() != before+1 {
+		t.Fatalf("cache=bypass did not reach the node (solves %d)", n.solves.Load())
+	}
+}
+
+func TestRelayBatchPipe(t *testing.T) {
+	n := newFakeNode(t)
+	addr := startRelay(t, "-nodes", n.addr(), "-probe-interval", "1h")
+
+	resp, err := http.Post("http://"+addr+"/solve/batch", "application/json",
+		strings.NewReader("[]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch via relay = %d", resp.StatusCode)
+	}
+	if string(body) != "[\n  {\"batch\": true}\n]\n" {
+		t.Fatalf("batch bytes not piped verbatim: %q", body)
+	}
+}
+
+func TestRelayBackendsProxy(t *testing.T) {
+	n := newFakeNode(t)
+	addr := startRelay(t, "-nodes", n.addr(), "-probe-interval", "1h")
+	resp, err := http.Get("http://" + addr + "/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "assign2") {
+		t.Fatalf("/backends proxy: %q", body)
+	}
+}
+
+func TestRelayFlagValidation(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:0"}, io.Discard, nil); err == nil {
+		t.Fatal("run without -nodes succeeded")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0", "-nodes", "a:1", "-strategy", "bogus"}, io.Discard, nil); err == nil {
+		t.Fatal("run with bogus strategy succeeded")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0", "-nodes", ",,,"}, io.Discard, nil); err == nil {
+		t.Fatal("run with empty node list succeeded")
+	}
+}

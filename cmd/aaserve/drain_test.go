@@ -1,0 +1,71 @@
+package main
+
+import (
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestReadyzFlipsDuringDrain pins the liveness/readiness split across a
+// SIGTERM drain: /readyz must flip to 503 as soon as the drain starts
+// (while -drain-grace holds the listener open), and /healthz must stay
+// 200 throughout — the relay ejects on readiness, orchestrators kill on
+// liveness, and conflating the two kills draining nodes mid-flight.
+func TestReadyzFlipsDuringDrain(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-drain-grace", "3s"}, testWriter{t}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz before drain = %d, want 200", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz before drain = %d, want 200", got)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// The readiness flip races only signal delivery, not the drain
+	// grace: poll briefly, well inside the 3s window the listener stays
+	// open.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if got := get("/readyz"); got == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never flipped to 503 during drain grace")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200 (liveness must survive drain)", got)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+}

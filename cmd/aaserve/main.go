@@ -9,13 +9,15 @@
 //	        [-trace-out file.jsonl] [-profile-dir dir] [-check]
 //	        [-cache memory] [-cache-size 1024] [-cache-ttl 0] [-cache-warm-k 8]
 //	        [-max-batch-bytes 1073741824] [-stream-batch] [-parallel-threshold 0]
+//	        [-drain-grace 0]
 //
 // Endpoints:
 //
 //	POST /solve           one instance (internal/instio JSON) → assignment
 //	POST /solve/batch     JSON array of instances → array of assignments
 //	GET  /backends        the solver registry: one line per backend
-//	GET  /healthz         liveness probe
+//	GET  /healthz         liveness probe (200 for the life of the process)
+//	GET  /readyz          readiness probe (503 from SIGTERM-drain start)
 //	GET  /metrics         Prometheus text exposition (plus /vars,
 //	                      /debug/vars and /debug/pprof/), the same handler
 //	                      the -metrics-addr flag serves elsewhere
@@ -56,8 +58,12 @@
 // (-stream-batch=false); a solve failure after the response has begun
 // aborts the connection mid-array rather than fabricating a status.
 //
-// On SIGINT/SIGTERM the listener drains in-flight requests (up to 10s)
-// before the process exits. The startup line "aaserve: listening on
+// On SIGINT/SIGTERM, /readyz flips to 503 immediately, the listener
+// stays open for -drain-grace (so load balancers and the aarelay prober
+// observe the flip and stop routing here), then in-flight requests
+// drain (up to 10s) before the process exits; /healthz stays 200
+// throughout — a draining node is healthy, just not ready. The startup
+// line "aaserve: listening on
 // http://ADDR" is printed to stderr once the socket is bound; with
 // -addr ending in :0 the kernel picks the port and scripts parse that
 // line (scripts/serve_smoke.sh does exactly this).
@@ -73,13 +79,10 @@ import (
 	"io"
 	"log/slog"
 	"math"
-	"net"
 	"net/http"
 	"os"
-	"os/signal"
 	"runtime"
 	"strconv"
-	"syscall"
 	"time"
 
 	"aa/internal/check"
@@ -87,6 +90,7 @@ import (
 	"aa/internal/core"
 	"aa/internal/engine"
 	"aa/internal/instio"
+	"aa/internal/serveutil"
 	"aa/internal/telemetry"
 )
 
@@ -103,6 +107,7 @@ type server struct {
 	backend  string        // default backend for requests that name none
 	deadline time.Duration // default per-request deadline, 0 = none
 	log      *slog.Logger  // JSON access/lifecycle logs; nil = discard
+	health   *serveutil.Health
 
 	maxBatchBytes int64 // /solve/batch body cap; <= 0 = unlimited
 	streamBatch   bool  // stream /solve/batch instead of buffering it
@@ -128,6 +133,8 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 			"stream /solve/batch: decode, solve and respond incrementally with bounded memory (false = buffer the whole batch)")
 		parallelThreshold = fs.Int("parallel-threshold", 0,
 			"instance size at which the core solver goes multi-core (0 = GOMAXPROCS-aware default)")
+		drainGrace = fs.Duration("drain-grace", 0,
+			"on SIGTERM, keep the listener open this long with /readyz already 503 so load balancers eject the node before in-flight draining begins (0 = drain immediately)")
 	)
 	var common cliutil.Common
 	common.AddFlags(fs)
@@ -178,40 +185,21 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	}
 	srv := &server{
 		eng: eng, backend: *backend, deadline: *deadline, log: log,
+		health:        &serveutil.Health{},
 		maxBatchBytes: *maxBatchBytes,
 		streamBatch:   *streamBatch,
 		batchInFlight: 2*wk + 2,
 	}
 
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
-	defer signal.Stop(sigs)
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
-	httpSrv := &http.Server{Handler: srv.mux()}
-	fmt.Fprintf(stderr, "aaserve: listening on http://%s\n", ln.Addr())
-	if ready != nil {
-		ready <- ln.Addr().String()
-	}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.Serve(ln) }()
-
-	select {
-	case err := <-serveErr:
-		return err
-	case sig := <-sigs:
-		fmt.Fprintf(stderr, "aaserve: %v, draining\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := httpSrv.Shutdown(ctx); err != nil {
-			return fmt.Errorf("shutdown: %w", err)
-		}
-		<-serveErr // http.ErrServerClosed
-		return nil
-	}
+	return serveutil.ListenAndServe(serveutil.ServeConfig{
+		Name:       "aaserve",
+		Addr:       *addr,
+		Handler:    srv.mux(),
+		Stderr:     stderr,
+		Ready:      ready,
+		Health:     srv.health,
+		DrainGrace: *drainGrace,
+	})
 }
 
 // mux wires the handlers behind the observability middleware (request
@@ -223,9 +211,12 @@ func (s *server) mux() http.Handler {
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/solve/batch", s.handleBatch)
 	mux.HandleFunc("/backends", handleBackends)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	health := s.health
+	if health == nil {
+		health = &serveutil.Health{}
+	}
+	mux.HandleFunc("/healthz", health.LivenessHandler())
+	mux.HandleFunc("/readyz", health.ReadinessHandler())
 	// The telemetry handler owns /metrics, /vars, /debug/* and the
 	// index; mounting it at / keeps this binary's exposition identical
 	// to every other binary's -metrics-addr endpoint.
@@ -234,7 +225,7 @@ func (s *server) mux() http.Handler {
 	if log == nil {
 		log = slog.New(slog.NewJSONHandler(io.Discard, nil))
 	}
-	return withObservability(log, mux)
+	return serveutil.WithObservability(log, mux)
 }
 
 // reqParams decodes the shared query parameters into an engine request.

@@ -13,10 +13,11 @@
 // callers must not mutate.
 //
 // Three modes hide behind one factory (New): ModeOff (a no-op cache),
-// ModeMemory (an in-process sharded LRU with size and TTL bounds), and
-// ModeShared (reserved for the future distributed relay tier — today a
-// process-local stub with the memory semantics, so wiring against it is
-// already exercisable).
+// ModeMemory (an in-process sharded LRU with size and TTL bounds, unkeyed
+// hashing), and ModeShared (the relay tier's exact-hit cache: the same
+// LRU storage, but with keyed thread hashing — a configured cluster key,
+// or a random per-process key when none is given — so fingerprints are
+// safe to derive from untrusted request bodies).
 package cache
 
 import (
@@ -33,10 +34,13 @@ const (
 	ModeOff Mode = "off"
 	// ModeMemory is the in-process sharded LRU with size and TTL bounds.
 	ModeMemory Mode = "memory"
-	// ModeShared is reserved for the distributed relay tier (ROADMAP
-	// item 1). Until that tier lands it is a process-local stub with
-	// ModeMemory semantics, kept as a distinct mode so callers can wire
-	// and test against the shared configuration surface today.
+	// ModeShared is the relay tier's exact-hit cache (ROADMAP item 1):
+	// ModeMemory storage semantics, but thread hashing is keyed —
+	// Config.Key when set (every relay given the same cluster key
+	// derives the same fingerprints), else a random per-process key —
+	// because relay cache keys are derived from untrusted request
+	// bodies, where the published unkeyed constants would be a
+	// collision target.
 	ModeShared Mode = "shared"
 )
 
@@ -60,6 +64,11 @@ type Config struct {
 	// warm-start path (most-recent fingerprints per (m, C, backend)
 	// group); <= 0 means DefaultCandidates.
 	Candidates int
+	// Key keys the thread-hash mixer (CanonicalizeKeyed). The zero key
+	// means unkeyed hashing in ModeMemory (byte-compatible with
+	// pre-keying fingerprints) and a fresh random per-process key in
+	// ModeShared. Derive from a shared secret with KeyFromString.
+	Key HashKey
 }
 
 // Defaults for Config fields left at zero.
@@ -118,6 +127,11 @@ type Cache interface {
 	NoteWarmStart()
 	// NoteBypass counts one explicitly bypassed request.
 	NoteBypass()
+	// HashKey returns the key requests against this cache must
+	// canonicalize with (CanonicalizeKeyed); the zero key means the
+	// unkeyed hash. Mixing keys against one cache silently misses on
+	// everything, so every reader and writer must go through this.
+	HashKey() HashKey
 }
 
 // Entry is one cached solve result, stored in canonical thread order
@@ -160,7 +174,12 @@ func New(cfg Config) (Cache, error) {
 	switch cfg.Mode {
 	case "", ModeOff:
 		return Noop(), nil
-	case ModeMemory, ModeShared:
+	case ModeMemory:
+		return newMemCache(cfg), nil
+	case ModeShared:
+		if cfg.Key.IsZero() {
+			cfg.Key = RandomKey()
+		}
 		return newMemCache(cfg), nil
 	default:
 		return nil, fmt.Errorf("cache: unknown mode %q (want %q, %q or %q)",

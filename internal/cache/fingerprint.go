@@ -18,7 +18,10 @@ import (
 // fingerprintVersion is hashed into every fingerprint so a change to the
 // canonicalization scheme (thread encoding, hash layout) invalidates old
 // entries instead of silently colliding with them.
-const fingerprintVersion = 2 // v2: binary thread encoding + two-lane 128-bit mixer
+const (
+	fingerprintVersion      = 2 // v2: binary thread encoding + two-lane 128-bit mixer
+	fingerprintVersionKeyed = 3 // v3: v2 with key-perturbed mixer seeds (CanonicalizeKeyed)
+)
 
 // Fingerprint identifies a canonical instance: SHA-256 over the scheme
 // version, server count, capacity, the feasibility ε baked into the
@@ -43,8 +46,9 @@ func (k Key) String() string { return hex.EncodeToString(k[:]) }
 // the solve it short-circuits (SHA-256 per thread was ~50× an Assign2
 // solve at n=10⁴), 128 well-mixed bits keep the accidental birthday
 // bound far below any realistic corpus, and adversarially engineered
-// collisions are outside the threat model of an in-process cache (the
-// shared relay tier will need keyed hashing — see DESIGN.md §13).
+// collisions are outside the threat model of an in-process cache. The
+// shared relay tier, where keys do cross trust boundaries, uses the
+// keyed variant (CanonicalizeKeyed / hash128Keyed — see DESIGN.md §15).
 type ThreadHash [16]byte
 
 // mix64 is the SplitMix64 finalizer — a full-avalanche 64-bit permutation.
@@ -54,19 +58,34 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// hash128 digests b into two 64-bit lanes. The absorb round is one
+// hash128 digests b into two 64-bit lanes with the original unkeyed
+// seeds — byte-for-byte the pre-keying hash, pinned by golden tests so
+// ModeMemory fingerprints survive this refactor.
+func hash128(b []byte) (hi, lo uint64) {
+	return hash128Keyed(b, &zeroHashKey)
+}
+
+var zeroHashKey HashKey
+
+// hash128Keyed digests b into two 64-bit lanes. The absorb round is one
 // rotate-multiply per lane per word — canonicalization hashes every
 // thread on every cache lookup, so the round must stay a handful of
 // cycles — with full mix64 avalanche deferred to the finalizer. The
 // tail is zero-padded and the exact length folded in at the end, so a
 // short encoding cannot alias a zero-extended one. A collision requires
 // both independently-keyed lanes to collide on the same input pair.
-func hash128(b []byte) (hi, lo uint64) {
+//
+// The key perturbs both lane seeds and both finalizer foldings through
+// mix64, so every key selects an unrelated hash family. mix64(0) == 0
+// makes the zero key the identity perturbation: hash128Keyed(b, &zero)
+// is exactly the historical unkeyed hash.
+func hash128Keyed(b []byte, k *HashKey) (hi, lo uint64) {
 	const (
 		golden = 0x9E3779B97F4A7C15
 		prime2 = 0xC2B2AE3D27D4EB4F
 	)
-	h1, h2 := uint64(0x8A5CD789635D2DFF), uint64(0x121FD2155C472F96)
+	h1 := uint64(0x8A5CD789635D2DFF) ^ mix64(k[0])
+	h2 := uint64(0x121FD2155C472F96) + mix64(k[1])
 	n := uint64(len(b))
 	for len(b) >= 8 {
 		w := binary.LittleEndian.Uint64(b)
@@ -85,8 +104,8 @@ func hash128(b []byte) (hi, lo uint64) {
 		h2 = (h2 + w) * prime2
 		h2 = h2<<33 | h2>>31
 	}
-	h1 = mix64(h1 ^ n)
-	h2 = mix64(h2 + n*golden)
+	h1 = mix64(h1 ^ n ^ mix64(k[2]))
+	h2 = mix64(h2 + n*golden + mix64(k[3]))
 	return mix64(h1 + h2), mix64(h1 ^ (h2<<1 | h2>>63))
 }
 
@@ -179,12 +198,21 @@ type Canonical struct {
 	// in the other instance's canonical form, which is what makes
 	// permuted exact hits byte-identical.
 	Perm []int
+	// keyed records whether the hashes came from a non-zero HashKey;
+	// Fingerprint folds it in as a distinct scheme version so keyed and
+	// unkeyed fingerprint spaces can never alias.
+	keyed bool
 }
 
-// Canonicalize normalizes an instance for fingerprinting. It fails only
-// when a thread's utility type has no stable instio encoding; such
-// instances are simply uncacheable and the engine solves them directly.
+// Canonicalize normalizes an instance for fingerprinting with the
+// unkeyed hash (ModeMemory). It fails only when a thread's utility type
+// has no stable instio encoding; such instances are simply uncacheable
+// and the engine solves them directly.
 func Canonicalize(in *core.Instance) (*Canonical, error) {
+	return canonicalize(in, &zeroHashKey)
+}
+
+func canonicalize(in *core.Instance, key *HashKey) (*Canonical, error) {
 	n := in.N()
 	c := &Canonical{M: in.M, C: in.C, Hashes: make([]ThreadHash, n), Perm: make([]int, n)}
 	keys := make([]threadKey, n)
@@ -195,7 +223,7 @@ func Canonicalize(in *core.Instance) (*Canonical, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cache: thread %d: %w", i, err)
 		}
-		hi, lo := hash128(buf)
+		hi, lo := hash128Keyed(buf, key)
 		keys[i] = threadKey{hi: hi, lo: lo, idx: int32(i)}
 	}
 	sortThreadKeys(keys)
@@ -213,7 +241,11 @@ func Canonicalize(in *core.Instance) (*Canonical, error) {
 func (c *Canonical) Fingerprint() Fingerprint {
 	h := sha256.New()
 	var buf [8]byte
-	buf[0] = fingerprintVersion
+	if c.keyed {
+		buf[0] = fingerprintVersionKeyed
+	} else {
+		buf[0] = fingerprintVersion
+	}
 	h.Write(buf[:1])
 	binary.LittleEndian.PutUint64(buf[:], uint64(c.M))
 	h.Write(buf[:])

@@ -1,0 +1,79 @@
+package cache
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+
+	"aa/internal/core"
+)
+
+// HashKey keys the thread-hash mixer. The zero key selects the original
+// unkeyed hash byte-for-byte (mix64(0) == 0, so zero-key seeds collapse
+// to the unkeyed constants), which is what keeps ModeMemory fingerprints
+// byte-compatible across this change. A non-zero key perturbs both lane
+// seeds and both finalizer lanes, so an attacker who can engineer
+// collisions against the published unkeyed constants learns nothing
+// about a keyed deployment — the property the shared relay tier needs
+// before fingerprints cross trust boundaries.
+type HashKey [4]uint64
+
+// IsZero reports whether k is the zero key (the unkeyed hash).
+func (k HashKey) IsZero() bool { return k == HashKey{} }
+
+// KeyFromString derives a HashKey from a shared secret (the relay
+// config's -cache-key). The empty string maps to the zero key — "no
+// secret configured" and "unkeyed hash" are deliberately the same state.
+func KeyFromString(secret string) HashKey {
+	if secret == "" {
+		return HashKey{}
+	}
+	sum := sha256.Sum256([]byte(secret))
+	var k HashKey
+	for i := range k {
+		k[i] = binary.LittleEndian.Uint64(sum[8*i:])
+	}
+	if k.IsZero() {
+		// A non-empty secret must key the hash; a four-lane zero digest
+		// is beyond astronomically unlikely, but the contract is cheap
+		// to keep absolute.
+		k[0] = 1
+	}
+	return k
+}
+
+// RandomKey draws a fresh per-process key from crypto/rand — the
+// default for ModeShared when no cluster key was configured: the cache
+// is then safe against engineered collisions but private to this
+// process (two relays only share fingerprints when given the same
+// -cache-key).
+func RandomKey() HashKey {
+	var b [32]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand does not fail on supported platforms; a broken
+		// entropy source is not something to limp past silently.
+		panic("cache: crypto/rand failed: " + err.Error())
+	}
+	var k HashKey
+	for i := range k {
+		k[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	if k.IsZero() {
+		k[0] = 1
+	}
+	return k
+}
+
+// CanonicalizeKeyed is Canonicalize with a keyed thread-hash mixer. The
+// zero key reproduces Canonicalize exactly (same hashes, same
+// fingerprints); any other key yields a disjoint fingerprint space,
+// marked with its own scheme version so keyed and unkeyed entries can
+// never alias even if a key were chosen adversarially.
+func CanonicalizeKeyed(in *core.Instance, key HashKey) (*Canonical, error) {
+	c, err := canonicalize(in, &key)
+	if err != nil {
+		return nil, err
+	}
+	c.keyed = !key.IsZero()
+	return c, nil
+}

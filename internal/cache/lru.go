@@ -44,6 +44,7 @@ func (c *counters) snapshot() Stats {
 // warm-start candidate lookup.
 type memCache struct {
 	mode   Mode
+	key    HashKey
 	shards []*shard
 	ttl    time.Duration
 	stats  counters
@@ -90,6 +91,7 @@ func newMemCache(cfg Config) *memCache {
 	}
 	c := &memCache{
 		mode:      cfg.Mode,
+		key:       cfg.Key,
 		shards:    make([]*shard, nshards),
 		ttl:       cfg.TTL,
 		now:       time.Now,
@@ -103,6 +105,8 @@ func newMemCache(cfg Config) *memCache {
 }
 
 func (c *memCache) Mode() Mode { return c.mode }
+
+func (c *memCache) HashKey() HashKey { return c.key }
 
 func (c *memCache) shard(key Key) *shard {
 	return c.shards[binary.LittleEndian.Uint64(key[:8])%uint64(len(c.shards))]

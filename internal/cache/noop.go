@@ -22,3 +22,4 @@ func (noop) Len() int                                   { return 0 }
 func (noop) Stats() Stats                               { return Stats{} }
 func (noop) NoteWarmStart()                             {}
 func (noop) NoteBypass()                                {}
+func (noop) HashKey() HashKey                           { return HashKey{} }

@@ -8,29 +8,34 @@ import (
 )
 
 // CacheFlags is the shared flag surface for the engine's solve-result
-// cache, used by the binaries that run an engine (aaserve, aareplay):
+// cache, used by the binaries that run an engine (aaserve, aareplay)
+// and by the relay's own exact-hit cache (aarelay):
 //
 //	-cache        off | memory | shared (default off)
 //	-cache-size   max entries (default cache.DefaultSize)
 //	-cache-ttl    entry time-to-live, 0 = no expiry
 //	-cache-warm-k warm-start repair bound, 0 disables warm starts
+//	-cache-key    cluster secret keying shared-mode fingerprints
 type CacheFlags struct {
 	Mode  string
 	Size  int
 	TTL   time.Duration
 	WarmK int
+	Key   string
 }
 
 // AddFlags registers the cache flags on fs with the shared wording.
 func (c *CacheFlags) AddFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.Mode, "cache", "off",
-		"solve-result cache mode: off, memory (in-process LRU) or shared (reserved; memory semantics)")
+		"solve-result cache mode: off, memory (in-process LRU, unkeyed hashing) or shared (keyed hashing for the relay tier)")
 	fs.IntVar(&c.Size, "cache-size", cache.DefaultSize,
 		"max cached solve results (memory/shared modes)")
 	fs.DurationVar(&c.TTL, "cache-ttl", 0,
 		"cached solve result time-to-live; 0 means entries never expire")
 	fs.IntVar(&c.WarmK, "cache-warm-k", 8,
 		"warm-start bound: repair from a cached solve differing by at most this many threads; 0 disables warm starts")
+	fs.StringVar(&c.Key, "cache-key", "",
+		"cluster secret keying shared-mode fingerprint hashing; empty means a random per-process key (shared mode) or unkeyed hashing (memory mode)")
 }
 
 // Build constructs the cache the flags describe. Mode "off" returns the
@@ -40,5 +45,6 @@ func (c *CacheFlags) Build() (cache.Cache, error) {
 		Mode: cache.Mode(c.Mode),
 		Size: c.Size,
 		TTL:  c.TTL,
+		Key:  cache.KeyFromString(c.Key),
 	})
 }

@@ -59,7 +59,7 @@ func cacheSolve(ctx context.Context, c cache.Cache, warmK int, next Handler, req
 	if req.Instance == nil || req.Payload != nil {
 		return "uncacheable", next(ctx, req, resp)
 	}
-	canon, err := cache.Canonicalize(req.Instance)
+	canon, err := cache.CanonicalizeKeyed(req.Instance, c.HashKey())
 	if err != nil {
 		// A utility type without a stable encoding: solve uncached.
 		return "uncacheable", next(ctx, req, resp)

@@ -38,6 +38,7 @@ type UtilityStats struct {
 // SolveStats summarizes the re-solve traffic in virtual time.
 type SolveStats struct {
 	Resolves   int     `json:"resolves"`
+	Failed     int     `json:"failed"` // remote solves that exhausted their retries
 	Migrations int     `json:"migrations"`
 	VirtualP50 float64 `json:"virtualP50"`
 	VirtualP99 float64 `json:"virtualP99"`

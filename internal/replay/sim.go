@@ -19,11 +19,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"sort"
+	"syscall"
 	"time"
 
 	"aa/internal/cache"
@@ -61,14 +63,19 @@ type RunOptions struct {
 // solveObserver collects what the engine middleware (or the HTTP
 // policy) sees per re-solve: the count and the wall latency.
 type solveObserver struct {
-	count   int
-	wallSec []float64
+	count    int
+	failures int
+	wallSec  []float64
 }
 
 func (o *solveObserver) observe(wall time.Duration) {
 	o.count++
 	o.wallSec = append(o.wallSec, wall.Seconds())
 }
+
+// fail records a solve that never produced an assignment — a remote
+// round trip that exhausted its retries. In-process runs never fail.
+func (o *solveObserver) fail() { o.failures++ }
 
 // middleware returns an engine middleware that counts and times every
 // solve dispatched through the injected pipeline — the replay harness's
@@ -352,6 +359,7 @@ func (a *accumulator) report(sc *Scenario, opts RunOptions, tstats TraceStats,
 		},
 		Solves: SolveStats{
 			Resolves:   a.resolves,
+			Failed:     obs.failures,
 			Migrations: a.migrations,
 			VirtualP50: stats.Quantile(a.virtLatency, 0.50),
 			VirtualP99: stats.Quantile(a.virtLatency, 0.99),
@@ -417,6 +425,73 @@ type httpResolve struct {
 	obs    *solveObserver
 	parent telemetry.SpanContext
 	client http.Client
+	sleep  func(time.Duration) // backoff hook; nil = time.Sleep
+}
+
+// Retry policy for the remote round trip. A replayed cluster restarts
+// nodes and relays mid-run, so a refused connection or a backpressure
+// status is a transient, not a failed solve — retry with doubling
+// backoff before counting it against the run.
+const (
+	retryMax     = 5
+	retryBase    = 25 * time.Millisecond
+	retryBackoff = 500 * time.Millisecond
+)
+
+// retryableStatus reports whether an HTTP status is worth re-sending
+// the same request for: backpressure (429), a dying hop (502) or a
+// draining node (503).
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests ||
+		code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable
+}
+
+// retryableErr reports whether a transport error means "nobody is
+// listening yet" rather than "the request is broken": connection
+// refused is the restart window of a node or relay coming back up.
+func retryableErr(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED)
+}
+
+// post sends body to the node's /solve with capped exponential backoff,
+// rebuilding the request per attempt from the buffered bytes. It
+// returns the first definitive response; nil means retries ran out.
+func (p *httpResolve) post(body []byte, traceparent string) *http.Response {
+	sleep := p.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	wait := retryBase
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, "http://"+p.addr+"/solve", bytes.NewReader(body))
+		if err != nil {
+			return nil
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
+		resp, err := p.client.Do(req)
+		switch {
+		case err != nil:
+			if !retryableErr(err) || attempt == retryMax {
+				return nil
+			}
+		case retryableStatus(resp.StatusCode):
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+			resp.Body.Close()
+			if attempt == retryMax {
+				return nil
+			}
+		default:
+			return resp
+		}
+		sleep(wait)
+		if wait *= 2; wait > retryBackoff {
+			wait = retryBackoff
+		}
+	}
 }
 
 // Name implements online.Policy.
@@ -458,25 +533,20 @@ func (p *httpResolve) React(s *online.State, ev online.Event) []int {
 			telemetry.Int("n", len(ids)), telemetry.Int("m", len(up)))
 		defer span.End()
 	}
-	httpReq, err := http.NewRequest(http.MethodPost, "http://"+p.addr+"/solve", &buf)
-	if err != nil {
-		return nil
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	if tp := span.Context().Traceparent(); tp != "" {
-		httpReq.Header.Set("traceparent", tp)
-	}
 	start := time.Now()
-	resp, err := p.client.Do(httpReq)
-	if err != nil {
+	resp := p.post(buf.Bytes(), span.Context().Traceparent())
+	if resp == nil {
+		p.obs.fail()
 		return nil
 	}
 	defer resp.Body.Close()
 	var out instio.AssignmentJSON
 	if resp.StatusCode != http.StatusOK {
+		p.obs.fail()
 		return nil
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&out); err != nil {
+		p.obs.fail()
 		return nil
 	}
 	p.obs.observe(time.Since(start))

@@ -1,0 +1,152 @@
+package replay
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHTTPResolveRetriesConnectionRefused flaps a server: the target
+// port has no listener when the first attempts land, then comes back up
+// mid-backoff (via the sleep hook) on the same port. The post must ride
+// out the refused window and succeed without losing the solve.
+func TestHTTPResolveRetriesConnectionRefused(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // flap down: connection refused until the hook re-listens
+
+	var got atomic.Int64
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != `{"probe":true}` {
+			t.Errorf("attempt body = %q; want the original bytes re-sent", body)
+		}
+		got.Add(1)
+		io.WriteString(w, "solved")
+	})
+
+	var srv *httptest.Server
+	var slept []time.Duration
+	p := &httpResolve{addr: addr}
+	p.sleep = func(d time.Duration) {
+		slept = append(slept, d)
+		if len(slept) == 2 { // flap back up on the same port
+			l2, err := net.Listen("tcp", addr)
+			if err != nil {
+				t.Fatalf("re-listen on %s: %v", addr, err)
+			}
+			srv = &httptest.Server{Listener: l2, Config: &http.Server{Handler: handler}}
+			srv.Start()
+		}
+	}
+
+	resp := p.post([]byte(`{"probe":true}`), "")
+	if resp == nil {
+		t.Fatal("post gave up despite the server coming back")
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	srv.Close()
+	if string(body) != "solved" {
+		t.Fatalf("post body = %q", body)
+	}
+	if got.Load() != 1 {
+		t.Fatalf("server saw %d requests, want exactly 1 success", got.Load())
+	}
+	if len(slept) < 2 || slept[0] != retryBase || slept[1] != 2*retryBase {
+		t.Fatalf("backoff waits = %v, want doubling from %v", slept, retryBase)
+	}
+}
+
+// TestHTTPResolveRetriesBackpressure treats 429/503 as transients: the
+// node sheds load twice, then accepts. The same body must arrive on
+// every attempt.
+func TestHTTPResolveRetriesBackpressure(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != "same-every-time" {
+			t.Errorf("attempt %d body = %q", hits.Load(), body)
+		}
+		switch hits.Add(1) {
+		case 1:
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+		case 2:
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		default:
+			io.WriteString(w, "ok")
+		}
+	}))
+	defer srv.Close()
+
+	p := &httpResolve{addr: srv.Listener.Addr().String(),
+		sleep: func(time.Duration) {}}
+	resp := p.post([]byte("same-every-time"), "")
+	if resp == nil {
+		t.Fatal("post gave up on retryable statuses")
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hits.Load() != 3 {
+		t.Fatalf("status %d after %d attempts; want 200 after 3", resp.StatusCode, hits.Load())
+	}
+}
+
+// TestHTTPResolveGivesUpAfterMaxRetries pins the retry budget and the
+// capped doubling schedule when nobody ever answers.
+func TestHTTPResolveGivesUpAfterMaxRetries(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var slept []time.Duration
+	p := &httpResolve{addr: addr,
+		sleep: func(d time.Duration) { slept = append(slept, d) }}
+	if resp := p.post([]byte("x"), ""); resp != nil {
+		resp.Body.Close()
+		t.Fatal("post succeeded against a dead port")
+	}
+	if len(slept) != retryMax {
+		t.Fatalf("slept %d times, want %d", len(slept), retryMax)
+	}
+	want := retryBase
+	for i, d := range slept {
+		if d != want {
+			t.Fatalf("wait %d = %v, want %v (doubling capped at %v)", i, d, want, retryBackoff)
+		}
+		if want *= 2; want > retryBackoff {
+			want = retryBackoff
+		}
+	}
+}
+
+// TestHTTPResolveNoRetryOnHardStatus: a 400 is a broken request, not a
+// transient — it must come straight back without burning the budget.
+func TestHTTPResolveNoRetryOnHardStatus(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "bad instance", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	p := &httpResolve{addr: srv.Listener.Addr().String(),
+		sleep: func(time.Duration) { t.Fatal("slept on a non-retryable status") }}
+	resp := p.post([]byte("x"), "")
+	if resp == nil {
+		t.Fatal("post swallowed the definitive response")
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || hits.Load() != 1 {
+		t.Fatalf("status %d after %d attempts; want one 400", resp.StatusCode, hits.Load())
+	}
+}

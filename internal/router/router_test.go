@@ -1,0 +1,376 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustNew(t *testing.T, s Strategy, nodes ...Node) *Router {
+	t.Helper()
+	r, err := New(s, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestParseStrategy(t *testing.T) {
+	for in, want := range map[string]Strategy{
+		"round-robin":       RoundRobin,
+		"rr":                RoundRobin,
+		"least-loaded":      LeastLoaded,
+		"least_loaded":      LeastLoaded,
+		"LL":                LeastLoaded,
+		"weighted-failover": WeightedFailover,
+		"weighted_failover": WeightedFailover,
+		"failover":          WeightedFailover,
+		" Weighted ":        WeightedFailover,
+	} {
+		got, err := ParseStrategy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParseStrategy("fastest"); err == nil {
+		t.Error("ParseStrategy accepted an unknown strategy")
+	}
+}
+
+func TestParseNodes(t *testing.T) {
+	nodes, err := ParseNodes("n1=10.0.0.1:8080*2, 10.0.0.2:8080 ,n3=10.0.0.3:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Node{
+		{Name: "n1", Addr: "10.0.0.1:8080", Weight: 2},
+		{Addr: "10.0.0.2:8080"},
+		{Name: "n3", Addr: "10.0.0.3:8080"},
+	}
+	if len(nodes) != len(want) {
+		t.Fatalf("got %d nodes, want %d", len(nodes), len(want))
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Errorf("node %d = %+v, want %+v", i, nodes[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", " , ", "a:1*x", "a:1*-2"} {
+		if _, err := ParseNodes(bad); err == nil {
+			t.Errorf("ParseNodes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(RoundRobin, nil); err == nil {
+		t.Error("New accepted an empty node set")
+	}
+	if _, err := New(RoundRobin, []Node{{Addr: ""}}); err == nil {
+		t.Error("New accepted an empty address")
+	}
+	if _, err := New(RoundRobin, []Node{{Addr: "a:1"}, {Addr: "a:1"}}); err == nil {
+		t.Error("New accepted duplicate addresses")
+	}
+	// Defaults: name = addr, weight = 1.
+	r := mustNew(t, RoundRobin, Node{Addr: "a:1"})
+	st := r.Snapshot()[0]
+	if st.Name != "a:1" || st.Weight != 1 || st.State != Ready {
+		t.Fatalf("defaults not applied: %+v", st)
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	r := mustNew(t, RoundRobin, Node{Addr: "a:1"}, Node{Addr: "b:1"}, Node{Addr: "c:1"})
+	var got []string
+	for i := 0; i < 6; i++ {
+		n, err := r.Pick(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, n.Addr)
+		r.Done(n.Addr)
+	}
+	want := "a:1 b:1 c:1 a:1 b:1 c:1"
+	if s := strings.Join(got, " "); s != want {
+		t.Fatalf("rotation %q, want %q", s, want)
+	}
+}
+
+func TestRoundRobinSkipsUnready(t *testing.T) {
+	r := mustNew(t, RoundRobin, Node{Addr: "a:1"}, Node{Addr: "b:1"}, Node{Addr: "c:1"})
+	r.setProbe("b:1", Down, 0, false)
+	seen := map[string]int{}
+	for i := 0; i < 4; i++ {
+		n, err := r.Pick(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[n.Addr]++
+		r.Done(n.Addr)
+	}
+	if seen["b:1"] != 0 || seen["a:1"] != 2 || seen["c:1"] != 2 {
+		t.Fatalf("distribution %v, want a and c only", seen)
+	}
+}
+
+func TestPickExcludeAndExhaustion(t *testing.T) {
+	r := mustNew(t, RoundRobin, Node{Addr: "a:1"}, Node{Addr: "b:1"})
+	n1, err := r.Pick(map[string]bool{"a:1": true})
+	if err != nil || n1.Addr != "b:1" {
+		t.Fatalf("Pick with a excluded = %v, %v; want b", n1.Addr, err)
+	}
+	_, err = r.Pick(map[string]bool{"a:1": true, "b:1": true})
+	if !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("exhausted Pick error = %v, want ErrNoNodes", err)
+	}
+	r.setProbe("a:1", Draining, 0, false)
+	r.setProbe("b:1", Down, 0, false)
+	if _, err := r.Pick(nil); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("all-unready Pick error = %v, want ErrNoNodes", err)
+	}
+}
+
+func TestLeastLoadedUsesDepthAndInflight(t *testing.T) {
+	r := mustNew(t, LeastLoaded, Node{Addr: "a:1"}, Node{Addr: "b:1"}, Node{Addr: "c:1"})
+	r.setProbe("a:1", Ready, 5, true)
+	r.setProbe("b:1", Ready, 1, true)
+	r.setProbe("c:1", Ready, 3, true)
+	n, _ := r.Pick(nil)
+	if n.Addr != "b:1" {
+		t.Fatalf("picked %s, want least-loaded b:1", n.Addr)
+	}
+	// b now has depth 1 + 1 in flight = 2; next pick still b (2 < 3 < 5).
+	n2, _ := r.Pick(nil)
+	if n2.Addr != "b:1" {
+		t.Fatalf("second pick %s, want b:1", n2.Addr)
+	}
+	// Third pick: b at 3 ties c at 3 and config order keeps b (strict <),
+	// pushing b to 4; the fourth pick shifts to c.
+	n3, _ := r.Pick(nil)
+	if n3.Addr != "b:1" {
+		t.Fatalf("tie-break pick = %s, want b:1 (config order)", n3.Addr)
+	}
+	n4, _ := r.Pick(nil)
+	if n4.Addr != "c:1" {
+		t.Fatalf("pick after piling in-flight on b = %s, want c:1", n4.Addr)
+	}
+	// Done releases in-flight: b returns to depth 1 and wins again.
+	for _, addr := range []string{"b:1", "b:1", "b:1"} {
+		r.Done(addr)
+	}
+	n5, _ := r.Pick(nil)
+	if n5.Addr != "b:1" {
+		t.Fatalf("pick after Done = %s, want b:1", n5.Addr)
+	}
+}
+
+func TestWeightedFailover(t *testing.T) {
+	r := mustNew(t, WeightedFailover,
+		Node{Addr: "primary:1", Weight: 10},
+		Node{Addr: "standby:1", Weight: 1},
+		Node{Addr: "standby2:1", Weight: 5})
+	for i := 0; i < 3; i++ {
+		n, _ := r.Pick(nil)
+		if n.Addr != "primary:1" {
+			t.Fatalf("pick %d = %s, want primary while ready", i, n.Addr)
+		}
+		r.Done(n.Addr)
+	}
+	// Primary fails: traffic moves to the heaviest standby.
+	r.ObserveFailure("primary:1")
+	n, _ := r.Pick(nil)
+	if n.Addr != "standby2:1" {
+		t.Fatalf("post-failure pick = %s, want standby2", n.Addr)
+	}
+	r.Done(n.Addr)
+	// Primary recovers via probe: traffic returns.
+	r.setProbe("primary:1", Ready, 0, true)
+	n, _ = r.Pick(nil)
+	if n.Addr != "primary:1" {
+		t.Fatalf("post-recovery pick = %s, want primary", n.Addr)
+	}
+}
+
+func TestObserveFailureMarksDownAndSnapshot(t *testing.T) {
+	r := mustNew(t, RoundRobin, Node{Name: "n1", Addr: "a:1", Weight: 2}, Node{Addr: "b:1"})
+	r.ObserveFailure("a:1")
+	r.ObserveFailure("missing:1") // unknown addr: no-op, no panic
+	st := r.Snapshot()
+	if st[0].State != Down || st[0].Failures != 1 {
+		t.Fatalf("snapshot[0] = %+v, want down with 1 failure", st[0])
+	}
+	if st[1].State != Ready {
+		t.Fatalf("snapshot[1] = %+v, want ready", st[1])
+	}
+	if r.Strategy() != RoundRobin {
+		t.Fatalf("Strategy() = %q", r.Strategy())
+	}
+	// A successful probe resets the failure streak.
+	r.setProbe("a:1", Ready, 0, true)
+	if st := r.Snapshot()[0]; st.State != Ready || st.Failures != 0 {
+		t.Fatalf("post-recovery snapshot = %+v", st)
+	}
+}
+
+// fakeNode is a minimal aaserve stand-in: /readyz with a switchable
+// status, /metrics/history with a canned queue depth.
+type fakeNode struct {
+	mu      sync.Mutex
+	ready   int
+	depth   float64
+	history int // history endpoint status; 200 serves depth
+	srv     *httptest.Server
+}
+
+func newFakeNode(t *testing.T) *fakeNode {
+	f := &fakeNode{ready: http.StatusOK, history: http.StatusOK}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		code := f.ready
+		f.mu.Unlock()
+		w.WriteHeader(code)
+	})
+	mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		code, depth := f.history, f.depth
+		f.mu.Unlock()
+		if code != http.StatusOK {
+			w.WriteHeader(code)
+			return
+		}
+		fmt.Fprintf(w, `{"interval_seconds":0.1,"capacity":360,"snapshots":[{"ts":"2026-01-01T00:00:00Z","metrics":{"aa_pool_queue_depth":{"type":"gauge","value":%g}}}]}`, depth)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeNode) addr() string { return strings.TrimPrefix(f.srv.URL, "http://") }
+
+func (f *fakeNode) set(ready int, depth float64) {
+	f.mu.Lock()
+	f.ready, f.depth = ready, depth
+	f.mu.Unlock()
+}
+
+func TestProbeNow(t *testing.T) {
+	up := newFakeNode(t)
+	up.set(http.StatusOK, 7)
+	draining := newFakeNode(t)
+	draining.set(http.StatusServiceUnavailable, 0)
+	noHistory := newFakeNode(t)
+	noHistory.history = http.StatusNotFound
+	down := newFakeNode(t)
+	downAddr := down.addr()
+	down.srv.Close() // transport-level refusal
+
+	r := mustNew(t, LeastLoaded,
+		Node{Name: "up", Addr: up.addr()},
+		Node{Name: "draining", Addr: draining.addr()},
+		Node{Name: "nohist", Addr: noHistory.addr()},
+		Node{Name: "down", Addr: downAddr})
+	r.ProbeNow()
+
+	st := r.Snapshot()
+	byName := map[string]NodeStatus{}
+	for _, s := range st {
+		byName[s.Name] = s
+	}
+	if s := byName["up"]; s.State != Ready || s.Depth != 7 || s.LastProbe.IsZero() {
+		t.Fatalf("up = %+v, want ready depth 7", s)
+	}
+	if s := byName["draining"]; s.State != Draining {
+		t.Fatalf("draining = %+v, want draining", s)
+	}
+	if s := byName["nohist"]; s.State != Ready || s.Depth != 0 {
+		t.Fatalf("nohist = %+v, want ready depth 0 (404 history)", s)
+	}
+	if s := byName["down"]; s.State != Down {
+		t.Fatalf("down = %+v, want down", s)
+	}
+
+	// Recovery and state changes propagate on the next sweep.
+	draining.set(http.StatusOK, 2)
+	r.ProbeNow()
+	if s := r.Snapshot()[1]; s.State != Ready || s.Depth != 2 {
+		t.Fatalf("recovered draining node = %+v", s)
+	}
+}
+
+func TestStartProberSweeps(t *testing.T) {
+	f := newFakeNode(t)
+	f.set(http.StatusOK, 4)
+	r := mustNew(t, LeastLoaded, Node{Addr: f.addr()})
+	r.StartProber(10 * time.Millisecond)
+	defer r.Stop()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if s := r.Snapshot()[0]; s.Depth == 4 && s.State == Ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never refreshed: %+v", r.Snapshot()[0])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	f.set(http.StatusServiceUnavailable, 0)
+	deadline = time.Now().Add(3 * time.Second)
+	for {
+		if s := r.Snapshot()[0]; s.State == Draining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never saw the drain: %+v", r.Snapshot()[0])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	r.Stop()
+	r.Stop() // idempotent
+}
+
+func TestStopWithoutProber(t *testing.T) {
+	r := mustNew(t, RoundRobin, Node{Addr: "a:1"})
+	done := make(chan struct{})
+	go func() { r.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop without StartProber blocked")
+	}
+}
+
+func TestConcurrentPickDone(t *testing.T) {
+	r := mustNew(t, LeastLoaded, Node{Addr: "a:1"}, Node{Addr: "b:1"})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n, err := r.Pick(nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				r.Done(n.Addr)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, s := range r.Snapshot() {
+		if s.InFlight != 0 {
+			t.Fatalf("in-flight leaked: %+v", s)
+		}
+	}
+	r.Done("a:1") // over-release: clamps at 0, no panic
+	if s := r.Snapshot()[0]; s.InFlight != 0 {
+		t.Fatalf("Done underflowed: %+v", s)
+	}
+}

@@ -1,0 +1,45 @@
+package serveutil
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Health is the liveness/readiness split behind /healthz and /readyz.
+// Liveness answers "is the process up" and stays 200 for the process's
+// whole life, including drain — a drain is healthy, and flipping
+// liveness during one would make orchestrators kill a process that is
+// busy finishing real work. Readiness answers "should new traffic come
+// here" and flips to 503 the moment a drain starts, which is the signal
+// the relay's prober (and any load balancer) uses to eject the node
+// before its listener actually closes.
+type Health struct {
+	draining atomic.Bool
+}
+
+// StartDrain flips readiness to 503. Idempotent; never unflips — a
+// draining process does not come back.
+func (h *Health) StartDrain() { h.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (h *Health) Draining() bool { return h.draining.Load() }
+
+// LivenessHandler serves /healthz: 200 "ok" for the life of the process.
+func (h *Health) LivenessHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+// ReadinessHandler serves /readyz: 200 "ok" until StartDrain, then
+// 503 "draining".
+func (h *Health) ReadinessHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if h.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	}
+}

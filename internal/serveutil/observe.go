@@ -1,4 +1,10 @@
-package main
+// Package serveutil is the shared HTTP serving layer behind the aa
+// binaries (aaserve nodes, the aarelay tier): request observability
+// (request IDs, W3C traceparent propagation, http.request spans, JSON
+// access logs), the liveness/readiness split load balancers key on, and
+// the signal-driven listen/drain/shutdown lifecycle — factored here so
+// a node and the relay that fronts it drain and trace identically.
+package serveutil
 
 import (
 	"log/slog"
@@ -8,18 +14,10 @@ import (
 	"aa/internal/telemetry"
 )
 
-// HTTP observability for aaserve: every request gets a request ID and
-// an http.request trace span, and emits one structured JSON access-log
-// line. Distributed-trace context crosses the wire as the W3C
-// traceparent header — an incoming header makes the http.request span
-// (and everything under it: engine.solve, the core.* stages) a child
-// of the caller's span, and the response carries the server-side span
-// back so callers can link their records too.
-
 // Request/response header names.
 const (
-	headerTraceparent = "traceparent"
-	headerRequestID   = "X-Request-ID"
+	HeaderTraceparent = "traceparent"
+	HeaderRequestID   = "X-Request-ID"
 )
 
 // statusWriter captures the status code and body size the handler
@@ -59,25 +57,28 @@ func (w *statusWriter) Flush() {
 // EnableFullDuplex, which only the real writer implements.
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
-// withObservability wraps next with request IDs, traceparent
-// extraction/injection, the http.request span and the access log.
-func withObservability(log *slog.Logger, next http.Handler) http.Handler {
+// WithObservability wraps next with request IDs, traceparent
+// extraction/injection, the http.request span and the access log. An
+// incoming traceparent header makes the http.request span (and
+// everything under it) a child of the caller's span, and the response
+// carries the server-side span back so callers can link their records.
+func WithObservability(log *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 
 		// Honor a caller-supplied request ID (so log lines correlate
 		// across services); mint one otherwise.
-		reqID := r.Header.Get(headerRequestID)
+		reqID := r.Header.Get(HeaderRequestID)
 		if reqID == "" {
 			reqID = telemetry.NewSpanID().String()
 		}
-		w.Header().Set(headerRequestID, reqID)
+		w.Header().Set(HeaderRequestID, reqID)
 
 		ctx := r.Context()
 		var span telemetry.Span
 		traced := telemetry.TraceEnabled()
 		if traced {
-			if sc, err := telemetry.ParseTraceparent(r.Header.Get(headerTraceparent)); err == nil {
+			if sc, err := telemetry.ParseTraceparent(r.Header.Get(HeaderTraceparent)); err == nil {
 				// The remote caller's span becomes the parent; a missing or
 				// malformed header falls through to the process default.
 				ctx = telemetry.ContextWithSpan(ctx, sc)
@@ -86,7 +87,7 @@ func withObservability(log *slog.Logger, next http.Handler) http.Handler {
 				telemetry.String("method", r.Method),
 				telemetry.String("path", r.URL.Path),
 				telemetry.String("request_id", reqID))
-			w.Header().Set(headerTraceparent, span.Context().Traceparent())
+			w.Header().Set(HeaderTraceparent, span.Context().Traceparent())
 		}
 
 		sw := &statusWriter{ResponseWriter: w}

@@ -27,6 +27,8 @@ FLOORS="
 ./internal/online 85
 ./internal/telemetry 85
 ./internal/cache 85
+./internal/router 85
+./internal/ratelimit 85
 "
 
 fail=0
